@@ -1,0 +1,56 @@
+"""Ablation: number of answer options shown per property screen.
+
+Corollary 1 fixes the option count from the cost constants; this bench sweeps
+the option count under two regimes of the suggestion cost ``sp``.  When
+suggesting an answer is cheap, showing only a couple of options minimises the
+expected screen cost; when suggestions are expensive (hard properties such as
+row indices, where working out the answer takes long), showing around ten
+options pays off — the trade-off that Corollary 1 balances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CostModelConfig
+from repro.planning.costmodel import VerificationCostModel
+
+OPTION_COUNTS = (1, 2, 5, 10, 20, 40)
+
+
+def _ranked_probabilities(label_count: int = 60, concentration: float = 1.2) -> list[float]:
+    ranks = np.arange(1, label_count + 1, dtype=float)
+    weights = ranks ** (-concentration)
+    weights /= weights.sum()
+    return list(weights)
+
+
+def _sweep(model: VerificationCostModel, probabilities: list[float]) -> dict[int, float]:
+    return {
+        option_count: model.expected_property_screen_cost(probabilities[:option_count])
+        for option_count in OPTION_COUNTS
+    }
+
+
+def test_bench_option_count_sweep(benchmark):
+    probabilities = _ranked_probabilities()
+    cheap_suggestions = VerificationCostModel(CostModelConfig(property_suggest_cost=10.0))
+    costly_suggestions = VerificationCostModel(CostModelConfig(property_suggest_cost=60.0))
+
+    def sweep_both() -> tuple[dict[int, float], dict[int, float]]:
+        return _sweep(cheap_suggestions, probabilities), _sweep(costly_suggestions, probabilities)
+
+    cheap, costly = benchmark(sweep_both)
+    print("\nexpected property-screen cost by option count:")
+    print(f"  {'options':>8} {'sp=10s':>9} {'sp=60s':>9}")
+    for option_count in OPTION_COUNTS:
+        print(f"  {option_count:>8} {cheap[option_count]:>8.1f}s {costly[option_count]:>8.1f}s")
+
+    # Cheap suggestions: few options are optimal and piling on 40 options only
+    # adds reading time.
+    assert min(cheap, key=cheap.get) <= 5
+    assert cheap[40] > cheap[1]
+    # Costly suggestions: showing ten options beats showing one, and the
+    # default of ten is close to the sweep's minimum.
+    assert costly[10] < costly[1]
+    assert costly[10] <= min(costly.values()) * 1.35

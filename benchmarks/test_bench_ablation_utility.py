@@ -1,0 +1,64 @@
+"""Ablation: weight of training utility in the batch-selection objective.
+
+The combined objective of Definition 9 is ``t(B) - wu * sum u(c)``.  This
+bench sweeps ``wu`` and reports how batch composition shifts from pure
+cost-minimisation (cheap claims, few sections) to pure active learning
+(uncertain claims regardless of cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BatchingConfig
+from repro.planning.batching import BatchCandidate, select_claim_batch
+
+
+def _candidates(seed: int = 17, count: int = 150) -> list[BatchCandidate]:
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for index in range(count):
+        # Make utility anti-correlated with cost: uncertain claims are the
+        # expensive ones, which is what happens in practice.
+        cost = float(rng.uniform(20, 120))
+        utility = cost / 30.0 + float(rng.normal(0, 0.3))
+        candidates.append(
+            BatchCandidate(
+                claim_id=f"c{index:04d}",
+                section_id=f"sec{index // 15:02d}",
+                verification_cost=cost,
+                training_utility=max(0.0, utility),
+            )
+        )
+    return candidates
+
+
+SECTION_COSTS = {f"sec{index:02d}": 30.0 for index in range(10)}
+
+
+def test_bench_utility_weight_sweep(benchmark):
+    candidates = _candidates()
+
+    def sweep() -> dict[float, tuple[float, float]]:
+        outcomes = {}
+        for weight in (0.1, 1.0, 10.0, 100.0):
+            config = BatchingConfig(
+                min_batch_size=1, max_batch_size=25, utility_weight=weight
+            )
+            selection = select_claim_batch(candidates, SECTION_COSTS, config)
+            size = max(1, selection.batch_size)
+            outcomes[weight] = (
+                selection.total_cost / size,
+                selection.total_utility / size,
+            )
+        return outcomes
+
+    outcomes = benchmark(sweep)
+    print("\nutility weight -> (avg cost per claim, avg utility per claim):")
+    for weight, (cost, utility) in outcomes.items():
+        print(f"  wu={weight:>6}: cost {cost:6.1f}s, utility {utility:5.2f}")
+
+    # Larger utility weights select claims with higher average training
+    # utility (and, given the anti-correlation, higher cost).
+    weights = sorted(outcomes)
+    assert outcomes[weights[-1]][1] >= outcomes[weights[0]][1]

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 10 (top-k accuracy per classifier)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure10
+
+
+def test_bench_figure10(benchmark, corpus, scenario):
+    outcome = benchmark.pedantic(
+        figure10.run,
+        kwargs={
+            "corpus": corpus,
+            "max_k": 15,
+            "featurizer_config": scenario.featurizer,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + figure10.format_rows(outcome))
+    series = outcome["series"]
+    # Top-k accuracy is monotone in k for every classifier.
+    for name, values in series.items():
+        assert values == sorted(values), name
+    # Shape check: most of the attainable accuracy is reached by k = 10
+    # ("classifiers reach most of their potential with the first 10 entries").
+    saturation = figure10.saturation_k(outcome, threshold=0.9)
+    print(f"saturation k (90% of final accuracy): {saturation}")
+    assert saturation["average"] <= 10
+    assert series["average"][-1] > series["average"][0]

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 6 (verification time vs claim complexity)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure6
+from repro.synth.study import UserStudyConfig, run_user_study
+
+
+def test_bench_figure6(benchmark, corpus, warm_translator):
+    config = UserStudyConfig(
+        study_claim_count=40, time_budget_seconds=45 * 60.0, seed=13, skip_rate=0.0
+    )
+    result = benchmark.pedantic(
+        run_user_study,
+        args=(corpus,),
+        kwargs={"config": config, "translator": warm_translator},
+        rounds=1,
+        iterations=1,
+    )
+    outcome = {
+        "rows": result.figure6_rows(),
+        "series": result.time_by_complexity,
+        "paper_series": figure6.PAPER_FIGURE6,
+    }
+    print("\n" + figure6.format_rows(outcome))
+    manual = outcome["series"]["Manual"]
+    system = outcome["series"]["System"]
+    shared = sorted(set(manual) & set(system))
+    assert shared, "no complexity level covered by both processes"
+    # Shape check: the system is faster at (nearly) every complexity level,
+    # and manual time grows with complexity.
+    faster = sum(1 for complexity in shared if system[complexity] < manual[complexity])
+    assert faster >= max(1, int(0.7 * len(shared)))
+    if len(shared) >= 2:
+        assert manual[shared[-1]] > manual[shared[0]] * 0.9

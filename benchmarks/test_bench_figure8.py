@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 8 (accuracy evolution, Scrutinizer vs Sequential)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure8
+
+
+def test_bench_figure8(benchmark, simulation_summary):
+    outcome = benchmark(figure8.run, summary=simulation_summary)
+    print("\n" + figure8.format_rows(outcome))
+    series = outcome["series"]
+    assert "Scrutinizer" in series and "Sequential" in series
+    assert series["Scrutinizer"], "Scrutinizer accuracy history is empty"
+    # Shape check: accuracy improves over the run (late average above the
+    # very first cold-start batches) for both assisted systems.
+    for values in series.values():
+        if len(values) >= 4:
+            early = sum(values[:2]) / 2
+            late = sum(values[-3:]) / 3
+            assert late >= early - 0.05
+    # Scrutinizer's mean accuracy is at least comparable to Sequential's.
+    mean_scrutinizer = sum(series["Scrutinizer"]) / len(series["Scrutinizer"])
+    mean_sequential = sum(series["Sequential"]) / max(1, len(series["Sequential"]))
+    assert mean_scrutinizer >= mean_sequential - 0.1

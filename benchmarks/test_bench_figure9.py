@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 9 (per-classifier accuracy over the run)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure9
+
+
+def test_bench_figure9(benchmark, simulation_summary):
+    outcome = benchmark(
+        figure9.run, run_result=simulation_summary.get("Scrutinizer")
+    )
+    print("\n" + figure9.format_rows(outcome))
+    series = outcome["series"]
+    assert set(series) == {"relation", "key", "attribute", "formula"}
+    means = figure9.mean_accuracy_by_property(outcome)
+    print(f"mean accuracy by classifier: {means}")
+    # Shape check from the paper: the row-index (key) classifier is the
+    # hardest because its label space is the largest.
+    others = [means[name] for name in ("relation", "attribute", "formula")]
+    assert means["key"] <= max(others)
+    assert max(others) > 0.2

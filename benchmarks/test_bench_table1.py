@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table 1 (property value frequency percentiles)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, corpus):
+    rows = benchmark(table1.run, corpus)
+    print("\n" + table1.format_rows(rows))
+    assert len(rows) == 4
+    # The skew of the paper's Table 1: tail percentiles far above the median.
+    for row in rows:
+        assert row["measured_p99"] >= row["measured_p50"]
+    by_property = {row["property"]: row for row in rows}
+    # Formulas are reused across many claims: few distinct values, low median.
+    assert by_property["formula"]["distinct_values"] <= by_property["key"]["distinct_values"]

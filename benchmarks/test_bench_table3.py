@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 3 (qualitative system comparison)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark):
+    outcome = benchmark(table3.run)
+    print("\n" + table3.format_rows(outcome))
+    assert all(outcome["matches"].values()), "system profiles diverge from the paper's Table 3"
+    names = [row["name"] for row in outcome["rows"]]
+    assert names == ["Scrutinizer", "AggChecker", "BriQ", "StatSearch"]

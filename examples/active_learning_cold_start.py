@@ -1,0 +1,54 @@
+"""Cold-start active learning: Scrutinizer vs the sequential baseline.
+
+The paper's simulation (Section 6.2) starts with untrained classifiers and
+lets verified claims become training data.  This example runs the same
+cold-start protocol at a smaller scale and prints how classifier accuracy
+and accumulated verification time evolve for the two claim-ordering
+strategies.
+
+Run with::
+
+    python examples/active_learning_cold_start.py
+"""
+
+from __future__ import annotations
+
+from repro.simulation.scenarios import small_scenario
+from repro.simulation.simulator import ReportSimulator
+
+
+def main() -> None:
+    scenario = small_scenario(seed=23, claim_count=150)
+    simulator = ReportSimulator(scenario)
+    corpus = simulator.corpus
+    print(f"Corpus: {corpus.claim_count} claims over {corpus.document.section_count} sections\n")
+
+    sequential = simulator.run_sequential()
+    scrutinizer = simulator.run_scrutinizer()
+
+    print("Average classifier accuracy per batch (cold start):")
+    print(f"  {'batch':>5} {'Sequential':>12} {'Scrutinizer':>12}")
+    seq_series = sequential.accuracy_series()
+    scr_series = scrutinizer.accuracy_series()
+    for index in range(max(len(seq_series), len(scr_series))):
+        seq = f"{seq_series[index]:.2f}" if index < len(seq_series) else "-"
+        scr = f"{scr_series[index]:.2f}" if index < len(scr_series) else "-"
+        print(f"  {index + 1:>5} {seq:>12} {scr:>12}")
+
+    print("\nTotals:")
+    for result in (sequential, scrutinizer):
+        print(
+            f"  {result.system_name:<12} {result.report.total_seconds / 3600:6.1f} checker-hours, "
+            f"mean accuracy {result.average_accuracy:.2f}, "
+            f"max accuracy {result.max_accuracy:.2f}, "
+            f"computation {result.computation_minutes:.1f} min"
+        )
+    manual = simulator.run_manual()
+    print(f"  {'Manual':<12} {manual.report.total_seconds / 3600:6.1f} checker-hours")
+    savings_seq = 1 - sequential.report.total_seconds / manual.report.total_seconds
+    savings_scr = 1 - scrutinizer.report.total_seconds / manual.report.total_seconds
+    print(f"\nSavings vs manual: Sequential {savings_seq:.0%}, Scrutinizer {savings_scr:.0%}")
+
+
+if __name__ == "__main__":
+    main()

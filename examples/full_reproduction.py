@@ -1,0 +1,31 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+By default this runs the laptop-friendly scenario (a few minutes); pass
+``--paper-scale`` to run the 1539-claim configuration of the paper, which
+takes much longer because the classifiers retrain after every batch of 100
+claims.
+
+Run with::
+
+    python examples/full_reproduction.py [--paper-scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import ExperimentRunner
+from repro.simulation.scenarios import default_scenario, small_scenario
+
+
+def main() -> None:
+    paper_scale = "--paper-scale" in sys.argv
+    scenario = default_scenario() if paper_scale else small_scenario(claim_count=150)
+    print(f"Running the {'paper-scale' if paper_scale else 'small'} reproduction scenario "
+          f"({scenario.corpus.claim_count} claims)\n")
+    runner = ExperimentRunner(scenario=scenario)
+    runner.run_all(verbose=True)
+
+
+if __name__ == "__main__":
+    main()

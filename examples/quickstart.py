@@ -1,0 +1,123 @@
+"""Quickstart: verify the paper's running example claim against a small table.
+
+This script builds the Figure 1 table by hand, trains a tiny translator on a
+handful of previously checked claims, and then verifies two claims:
+
+* the true claim "In 2017, global electricity demand grew by 3%", and
+* the false variant stating 2.5% growth, for which Scrutinizer proposes the
+  correct value as an update.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.claims.model import Claim, ClaimGroundTruth, ClaimProperty
+from repro.dataset.database import Database
+from repro.dataset.relation import Relation
+from repro.translation.translator import ClaimTranslator
+
+
+def build_database() -> Database:
+    """The Global Energy Demand fragment of Figure 1."""
+    ged = Relation(
+        name="GED",
+        key_attribute="Index",
+        attributes=["2000", "2016", "2017", "2030", "2040"],
+        description="Global energy demand, history and estimates",
+    )
+    ged.insert({"Index": "PGElecDemand", "2000": 15000, "2016": 21567, "2017": 22209,
+                "2030": 29349, "2040": 35526})
+    ged.insert({"Index": "PGINCoal", "2000": 2100, "2016": 2380, "2017": 2390,
+                "2030": 2341, "2040": 2353})
+    ged.insert({"Index": "TFCelec", "2000": 14000, "2016": 21465, "2017": 22040,
+                "2030": 28566, "2040": 34790})
+    ged.insert({"Index": "CapAddTotal_Wind", "2000": 20, "2016": 160, "2017": 180,
+                "2030": 400, "2040": 520})
+    return Database([ged], name="quickstart")
+
+
+def training_claims() -> tuple[list[Claim], list[ClaimGroundTruth]]:
+    """A handful of previously checked claims used to bootstrap the classifiers."""
+    claims: list[Claim] = []
+    truths: list[ClaimGroundTruth] = []
+    growth_formula = "(POWER((a / b), (1 / (A1 - A2))) - 1)"
+    fold_formula = "(a / b)"
+    samples = [
+        ("electricity demand grew by 3% in 2017", "PGElecDemand", ("2017", "2016"), growth_formula),
+        ("electricity demand expanded in 2017 compared with 2016", "PGElecDemand", ("2017", "2016"), growth_formula),
+        ("final electricity consumption grew in 2017", "TFCelec", ("2017", "2016"), growth_formula),
+        ("coal demand grew slightly in 2017", "PGINCoal", ("2017", "2016"), growth_formula),
+        ("wind capacity additions increased nine-fold from 2000 to 2017", "CapAddTotal_Wind", ("2017", "2000"), fold_formula),
+        ("the wind market expanded strongly between 2000 and 2017", "CapAddTotal_Wind", ("2017", "2000"), fold_formula),
+    ]
+    for index, (text, key, attributes, formula) in enumerate(samples):
+        claim_id = f"train{index}"
+        claims.append(
+            Claim(
+                claim_id=claim_id,
+                text=text,
+                sentence_text=text + ".",
+                section_id="sec1",
+                is_explicit=False,
+            )
+        )
+        truths.append(
+            ClaimGroundTruth(
+                claim_id=claim_id,
+                relations=("GED",),
+                keys=(key,),
+                attributes=attributes,
+                formula_label=formula,
+            )
+        )
+    return claims, truths
+
+
+def main() -> None:
+    database = build_database()
+    translator = ClaimTranslator(database)
+    claims, truths = training_claims()
+    translator.bootstrap(claims, truths)
+
+    true_claim = Claim(
+        claim_id="q1",
+        text="In 2017, global electricity demand grew by 3%",
+        sentence_text="In 2017, global electricity demand grew by 3%, reaching 22 200 TWh.",
+        section_id="sec1",
+        is_explicit=True,
+        parameter=0.03,
+    )
+    false_claim = Claim(
+        claim_id="q2",
+        text="In 2017, global electricity demand grew by 2.5%",
+        sentence_text="In 2017, global electricity demand grew by 2.5%.",
+        section_id="sec1",
+        is_explicit=True,
+        parameter=0.025,
+    )
+
+    context = {
+        ClaimProperty.RELATION: ["GED"],
+        ClaimProperty.KEY: ["PGElecDemand"],
+        ClaimProperty.ATTRIBUTE: ["2017", "2016"],
+    }
+    for claim in (true_claim, false_claim):
+        result = translator.translate(claim, validated_context=context)
+        print(f"\nClaim: {claim.text}")
+        print(f"  verdict: {'validated' if result.verdict else 'contradicted'}")
+        if result.best_sql:
+            print("  verifying query:")
+            for line in result.best_sql.splitlines():
+                print(f"    {line}")
+        if result.best_value is not None:
+            print(f"  query value: {result.best_value:.4f}")
+        if result.verdict is False and result.suggested_values:
+            suggestions = ", ".join(f"{value:.3f}" for value in result.suggested_values[:3])
+            print(f"  suggested corrections: {suggestions}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup entry point.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs fail; keeping a ``setup.py`` lets ``pip install -e . --no-use-pep517``
+fall back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Reproduction of the Scrutinizer claim-verification system (VLDB 2020).
+
+The package is organised around the two contributions of the paper plus the
+substrates they need:
+
+* :mod:`repro.dataset` and :mod:`repro.sqlengine` — an in-memory relational
+  store and an executor for the statistical-check SQL fragment the paper
+  verifies claims with (Definition 3).
+* :mod:`repro.text` and :mod:`repro.ml` — the feature pipeline (Figure 4) and
+  the classifiers used for claim-to-query translation.
+* :mod:`repro.formulas`, :mod:`repro.claims` and :mod:`repro.translation` —
+  the claim model, the formula generalisation machinery (Section 4.2) and the
+  query-generation algorithm (Algorithm 2).
+* :mod:`repro.planning` — cost-based question planning and claim ordering
+  (Section 5).
+* :mod:`repro.crowd`, :mod:`repro.core` and :mod:`repro.simulation` — the
+  simulated crowd of domain experts, the main verification loop
+  (Algorithm 1) and the full-report simulator used in Section 6.2.
+* :mod:`repro.synth` — a synthetic substitute for the proprietary IEA corpus.
+* :mod:`repro.experiments` — one entry point per table/figure of the paper.
+
+The most convenient entry points are re-exported here.
+"""
+
+from repro.claims.model import Claim, ClaimProperty, ComparisonOp
+from repro.core.report import VerificationReport
+from repro.core.scrutinizer import Scrutinizer
+from repro.dataset.database import Database
+from repro.dataset.relation import Relation
+from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
+from repro.translation.translator import ClaimTranslator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Claim",
+    "ClaimProperty",
+    "ClaimTranslator",
+    "ComparisonOp",
+    "Database",
+    "Relation",
+    "Scrutinizer",
+    "SyntheticCorpusConfig",
+    "VerificationReport",
+    "generate_corpus",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Checker annotations — the raw material for bootstrapping classifiers.
+
+In the IEA workflow every claim was checked by three domain experts whose
+notes (spreadsheet references, intermediate computations) describe *how* the
+claim was verified.  We model one annotation as a check trace
+(:class:`~repro.formulas.extraction.CheckStep`) plus checker metadata; the
+:class:`~repro.formulas.extraction.FormulaExtractor` turns the trace into a
+reusable formula and the binding that reproduces the original check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClaimError
+from repro.formulas.extraction import CheckStep, FormulaExtractor, GeneralizedCheck
+
+
+@dataclass(frozen=True)
+class CheckerAnnotation:
+    """One checker's record of how a claim was verified.
+
+    ``complete`` is ``False`` for the "incomplete information" case of
+    Section 4.2 — general claims where the checker recorded the look-ups but
+    not the parameter they compared against.
+    """
+
+    claim_id: str
+    checker_id: str
+    trace: CheckStep
+    verdict: bool
+    complete: bool = True
+    notes: str = ""
+
+    def generalize(self, extractor: FormulaExtractor | None = None) -> GeneralizedCheck:
+        """Generalise the recorded check into a formula with variables."""
+        extractor = extractor if extractor is not None else FormulaExtractor()
+        return extractor.generalize(self.trace)
+
+
+def build_annotation(
+    claim_id: str,
+    checker_id: str,
+    trace: CheckStep,
+    verdict: bool = True,
+    complete: bool = True,
+    notes: str = "",
+) -> CheckerAnnotation:
+    """Validating constructor for :class:`CheckerAnnotation`."""
+    if not claim_id:
+        raise ClaimError("annotation requires a claim_id")
+    if not checker_id:
+        raise ClaimError("annotation requires a checker_id")
+    return CheckerAnnotation(
+        claim_id=claim_id,
+        checker_id=checker_id,
+        trace=trace,
+        verdict=verdict,
+        complete=complete,
+        notes=notes,
+    )
+
+
+def agreement(annotations: list[CheckerAnnotation]) -> float:
+    """Fraction of annotations agreeing with the majority verdict."""
+    if not annotations:
+        return 0.0
+    positive = sum(1 for annotation in annotations if annotation.verdict)
+    majority = positive >= len(annotations) - positive
+    agreeing = positive if majority else len(annotations) - positive
+    return agreeing / len(annotations)

@@ -1,0 +1,145 @@
+"""Claim model (Definitions 1 and 2 of the paper).
+
+A *general claim* describes a comparison ``q(D') op p`` between the value of
+a query and a parameter; an *explicit claim* is the special case where the
+comparison is an equality (within an admissible error rate) and the
+parameter is stated in the claim text itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dataset.types import values_close
+from repro.errors import ClaimError
+from repro.formulas.instantiate import ValueRef
+
+
+class ComparisonOp(enum.Enum):
+    """The comparison operators admitted by Definition 1."""
+
+    LESS_THAN = "<"
+    EQUAL = "="
+    NOT_EQUAL = "!="
+    GREATER_THAN = ">"
+
+    def holds(self, query_value: float, parameter: float, tolerance: float = 0.0) -> bool:
+        """Whether ``query_value op parameter`` holds.
+
+        Equality uses the relative tolerance of Definition 2; the other
+        operators are strict.
+        """
+        if self is ComparisonOp.EQUAL:
+            return values_close(query_value, parameter, tolerance)
+        if self is ComparisonOp.NOT_EQUAL:
+            return not values_close(query_value, parameter, tolerance)
+        if self is ComparisonOp.LESS_THAN:
+            return query_value < parameter
+        return query_value > parameter
+
+
+class ClaimProperty(enum.Enum):
+    """The four query properties predicted by the classifiers (Section 3.1)."""
+
+    RELATION = "relation"
+    KEY = "key"
+    ATTRIBUTE = "attribute"
+    FORMULA = "formula"
+
+    @classmethod
+    def ordered(cls) -> tuple["ClaimProperty", ...]:
+        """The canonical verification order: context first, formula last."""
+        return (cls.RELATION, cls.KEY, cls.ATTRIBUTE, cls.FORMULA)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A single textual claim within a sentence of the document."""
+
+    claim_id: str
+    text: str
+    sentence_text: str
+    section_id: str
+    is_explicit: bool
+    #: Parameter ``p`` stated in the text (explicit claims); ``None`` when the
+    #: parameter must be judged by the checker (general claims).
+    parameter: float | None = None
+    comparison: ComparisonOp = ComparisonOp.EQUAL
+
+    def __post_init__(self) -> None:
+        if not self.claim_id:
+            raise ClaimError("claim_id must be non-empty")
+        if not self.text:
+            raise ClaimError("claim text must be non-empty")
+        if self.is_explicit and self.parameter is None:
+            raise ClaimError(
+                f"explicit claim {self.claim_id!r} must carry its parameter"
+            )
+
+    @property
+    def context_text(self) -> str:
+        """The surrounding sentence, used as classifier context (Figure 4)."""
+        return self.sentence_text or self.text
+
+
+@dataclass(frozen=True)
+class ClaimGroundTruth:
+    """The reference translation of a claim, derived from past annotations.
+
+    The simulated crowd answers questions from this record, and the
+    experiment harness uses it to score classifier accuracy.
+    """
+
+    claim_id: str
+    relations: tuple[str, ...]
+    keys: tuple[str, ...]
+    attributes: tuple[str, ...]
+    formula_label: str
+    value_assignment: dict[str, ValueRef] = field(default_factory=dict)
+    attribute_assignment: dict[str, str] = field(default_factory=dict)
+    #: The value the reference query evaluates to on the database.
+    expected_value: float | None = None
+    #: Whether the claim, as written in the document, is correct.
+    is_correct: bool = True
+    #: For incorrect claims, the value that should replace the stated one.
+    correct_value: float | None = None
+    sql: str = ""
+
+    def property_labels(self, claim_property: ClaimProperty) -> tuple[str, ...]:
+        """Ground-truth labels for one property (possibly several)."""
+        if claim_property is ClaimProperty.RELATION:
+            return self.relations
+        if claim_property is ClaimProperty.KEY:
+            return self.keys
+        if claim_property is ClaimProperty.ATTRIBUTE:
+            return self.attributes
+        return (self.formula_label,)
+
+    def primary_label(self, claim_property: ClaimProperty) -> str:
+        """The single label used for classifier training."""
+        labels = self.property_labels(claim_property)
+        if not labels:
+            raise ClaimError(
+                f"claim {self.claim_id!r} has no ground-truth label for {claim_property.value}"
+            )
+        return labels[0]
+
+    @property
+    def complexity(self) -> int:
+        """Claim complexity as counted for Figure 6 of the paper.
+
+        The sum of the number of key values, attributes, operations,
+        constants and variables of the verifying query; here computed from
+        the generalized check metadata.
+        """
+        from repro.formulas.parser import parse_formula
+
+        formula = parse_formula(self.formula_label)
+        return (
+            len(self.keys)
+            + len(self.attributes)
+            + formula.operation_count()
+            + len(formula.constants())
+            + len(formula.value_variables())
+        )

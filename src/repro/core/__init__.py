@@ -1,0 +1,18 @@
+"""The Scrutinizer system itself (Algorithm 1) and its baselines."""
+
+from repro.core.baselines import ManualBaseline, SYSTEM_PROFILES, SystemProfile
+from repro.core.report import ClaimVerification, VerificationReport, seconds_to_weeks
+from repro.core.scrutinizer import Scrutinizer
+from repro.core.session import BatchRecord, VerificationSession
+
+__all__ = [
+    "BatchRecord",
+    "ClaimVerification",
+    "ManualBaseline",
+    "SYSTEM_PROFILES",
+    "Scrutinizer",
+    "SystemProfile",
+    "VerificationReport",
+    "VerificationSession",
+    "seconds_to_weeks",
+]

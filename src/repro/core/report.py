@@ -1,0 +1,171 @@
+"""Verification reports — the output of the system.
+
+The report maps every verified claim to the query that explains the
+decision, flags claims judged incorrect together with suggested corrections,
+and aggregates the effort statistics that the evaluation section of the
+paper reports (total person-time, savings against the manual baseline,
+accuracy of the aggregated verdicts).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.claims.corpus import ClaimCorpus
+
+#: Working hours assumed when converting seconds to person-weeks
+#: ("an eight hours work day and a five day week", Section 6.2).
+SECONDS_PER_WORK_WEEK = 8 * 5 * 3600
+
+
+def seconds_to_weeks(total_seconds: float, checkers: int = 1) -> float:
+    """Convert accumulated person-seconds into elapsed weeks for a team."""
+    if checkers < 1:
+        raise ValueError("checkers must be at least 1")
+    return total_seconds / (SECONDS_PER_WORK_WEEK * checkers)
+
+
+@dataclass(frozen=True)
+class ClaimVerification:
+    """The verification outcome for a single claim."""
+
+    claim_id: str
+    verdict: bool | None
+    verified_sql: str | None
+    elapsed_seconds: float
+    checker_votes: tuple[bool, ...] = ()
+    suggested_value: float | None = None
+    skipped: bool = False
+    batch_index: int = 0
+
+    @property
+    def decided(self) -> bool:
+        return self.verdict is not None and not self.skipped
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated outcome of a verification run."""
+
+    system_name: str
+    verifications: list[ClaimVerification] = field(default_factory=list)
+    #: Time spent by the machine (planning, ILP, retraining), in seconds.
+    computation_seconds: float = 0.0
+    #: Classifier accuracy history: one entry per batch, keyed by series name.
+    accuracy_history: list[Mapping[str, float]] = field(default_factory=list)
+    checker_count: int = 1
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def add(self, verification: ClaimVerification) -> None:
+        self.verifications.append(verification)
+
+    def extend(self, verifications: Iterable[ClaimVerification]) -> None:
+        self.verifications.extend(verifications)
+
+    def verification_for(self, claim_id: str) -> ClaimVerification | None:
+        for verification in self.verifications:
+            if verification.claim_id == claim_id:
+                return verification
+        return None
+
+    # ------------------------------------------------------------------ #
+    # effort statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def claim_count(self) -> int:
+        return len(self.verifications)
+
+    @property
+    def decided_count(self) -> int:
+        return sum(1 for verification in self.verifications if verification.decided)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(verification.elapsed_seconds for verification in self.verifications)
+
+    @property
+    def total_weeks(self) -> float:
+        return seconds_to_weeks(self.total_seconds, checkers=self.checker_count)
+
+    def cumulative_seconds(self) -> list[float]:
+        """Accumulated verification time after each claim (Figure 7 series)."""
+        series: list[float] = []
+        running = 0.0
+        for verification in self.verifications:
+            running += verification.elapsed_seconds
+            series.append(running)
+        return series
+
+    def savings_against(self, baseline: "VerificationReport") -> float:
+        """Fractional time savings relative to another report."""
+        if baseline.total_seconds == 0:
+            return 0.0
+        return 1.0 - self.total_seconds / baseline.total_seconds
+
+    # ------------------------------------------------------------------ #
+    # result quality
+    # ------------------------------------------------------------------ #
+    def verdict_accuracy(self, corpus: ClaimCorpus) -> float:
+        """Fraction of decided claims whose verdict matches the ground truth."""
+        decided = [verification for verification in self.verifications if verification.decided]
+        if not decided:
+            return 0.0
+        hits = sum(
+            1
+            for verification in decided
+            if verification.verdict == corpus.ground_truth(verification.claim_id).is_correct
+        )
+        return hits / len(decided)
+
+    def incorrect_claims(self) -> list[ClaimVerification]:
+        """Claims the crowd judged incorrect, with suggested corrections."""
+        return [
+            verification
+            for verification in self.verifications
+            if verification.decided and verification.verdict is False
+        ]
+
+    def average_classifier_accuracy(self, series: str = "average") -> float:
+        """Mean of one accuracy series over the verification period (Table 2)."""
+        values = [entry[series] for entry in self.accuracy_history if series in entry]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def max_classifier_accuracy(self, series: str = "average") -> float:
+        values = [entry[series] for entry in self.accuracy_history if series in entry]
+        if not values:
+            return 0.0
+        return max(values)
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, float]:
+        return {
+            "claims": float(self.claim_count),
+            "decided": float(self.decided_count),
+            "total_seconds": self.total_seconds,
+            "total_weeks": self.total_weeks,
+            "computation_minutes": self.computation_seconds / 60.0,
+            "avg_accuracy": self.average_classifier_accuracy(),
+            "max_accuracy": self.max_classifier_accuracy(),
+        }
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Tabular form of the per-claim results (for export or inspection)."""
+        return [
+            {
+                "claim_id": verification.claim_id,
+                "verdict": verification.verdict,
+                "sql": verification.verified_sql,
+                "seconds": round(verification.elapsed_seconds, 2),
+                "suggested_value": verification.suggested_value,
+                "skipped": verification.skipped,
+                "batch": verification.batch_index,
+            }
+            for verification in self.verifications
+        ]

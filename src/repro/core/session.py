@@ -1,0 +1,81 @@
+"""Mutable state of one verification run of Algorithm 1."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.report import ClaimVerification
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Summary of one iteration of the main loop."""
+
+    batch_index: int
+    claim_ids: tuple[str, ...]
+    seconds_spent: float
+    accuracy_by_property: dict[str, float] = field(default_factory=dict)
+    solver: str = ""
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.claim_ids)
+
+
+class VerificationSession:
+    """Tracks which claims remain to verify and what has been decided."""
+
+    def __init__(self, claim_ids: Sequence[str]) -> None:
+        if not claim_ids:
+            raise SimulationError("a verification session needs at least one claim")
+        self._pending: list[str] = list(dict.fromkeys(claim_ids))
+        self._verified: dict[str, ClaimVerification] = {}
+        self._batches: list[BatchRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_claim_ids(self) -> tuple[str, ...]:
+        return tuple(self._pending)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def verified_count(self) -> int:
+        return len(self._verified)
+
+    @property
+    def is_complete(self) -> bool:
+        return not self._pending
+
+    @property
+    def batches(self) -> tuple[BatchRecord, ...]:
+        return tuple(self._batches)
+
+    @property
+    def verifications(self) -> tuple[ClaimVerification, ...]:
+        return tuple(self._verified.values())
+
+    # ------------------------------------------------------------------ #
+    # transitions
+    # ------------------------------------------------------------------ #
+    def mark_verified(self, verification: ClaimVerification) -> None:
+        claim_id = verification.claim_id
+        if claim_id not in self._pending:
+            raise SimulationError(f"claim {claim_id!r} is not pending verification")
+        self._pending.remove(claim_id)
+        self._verified[claim_id] = verification
+
+    def record_batch(self, record: BatchRecord) -> None:
+        self._batches.append(record)
+
+    def verification_of(self, claim_id: str) -> ClaimVerification:
+        try:
+            return self._verified[claim_id]
+        except KeyError:
+            raise SimulationError(f"claim {claim_id!r} has not been verified yet") from None

@@ -1,0 +1,23 @@
+"""Simulated crowd of domain experts.
+
+The paper's crowd is a team of professional IEA fact checkers; Section 6.2
+of the paper itself replaces them with a simulator calibrated on the user
+study.  We do the same: a ground-truth oracle answers question screens, a
+timing model converts screen interactions and manual checks into seconds,
+and simulated checkers add skip/error behaviour plus majority voting.
+"""
+
+from repro.crowd.oracle import GroundTruthOracle, ScreenAnswer
+from repro.crowd.timing import TimingModel, TimingModelConfig
+from repro.crowd.voting import majority_vote
+from repro.crowd.worker import CheckerResponse, SimulatedChecker
+
+__all__ = [
+    "CheckerResponse",
+    "GroundTruthOracle",
+    "ScreenAnswer",
+    "SimulatedChecker",
+    "TimingModel",
+    "TimingModelConfig",
+    "majority_vote",
+]

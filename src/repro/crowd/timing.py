@@ -1,0 +1,123 @@
+"""Verification-time model calibrated on the paper's user study.
+
+Figure 6 of the paper shows manual verification time growing roughly
+linearly with claim complexity (about 50 s at complexity 4 up to about
+200 s at complexity 10), while the system-assisted process takes less than
+half of that at every complexity level.  The timing model reproduces those
+shapes: manual checks pay a per-element cost, system-assisted checks pay
+per screen interaction (reading displayed options, occasionally suggesting
+answers) plus a small per-element reading cost for the final query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CostModelConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimingModelConfig:
+    """Constants of the simulated timing model (all in seconds)."""
+
+    #: Fixed overhead of any manual check (finding the right spreadsheet).
+    manual_base: float = 20.0
+    #: Additional manual cost per element of the verifying query.
+    manual_per_element: float = 18.0
+    #: Fixed overhead of a system-assisted check (reading the claim/screen).
+    system_base: float = 8.0
+    #: Additional system cost per element of the verifying query.
+    system_per_element: float = 2.0
+    #: Multiplicative noise (lognormal sigma) applied to sampled times.
+    noise_sigma: float = 0.15
+
+    def __post_init__(self) -> None:
+        values = (
+            self.manual_base,
+            self.manual_per_element,
+            self.system_base,
+            self.system_per_element,
+        )
+        if any(value < 0 for value in values):
+            raise ConfigurationError("timing constants must be non-negative")
+        if self.noise_sigma < 0:
+            raise ConfigurationError("noise_sigma must be non-negative")
+
+
+class TimingModel:
+    """Samples verification times for manual and system-assisted checks."""
+
+    def __init__(
+        self,
+        config: TimingModelConfig | None = None,
+        cost_model: CostModelConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config if config is not None else TimingModelConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModelConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # deterministic expectations
+    # ------------------------------------------------------------------ #
+    def expected_manual_time(self, complexity: int) -> float:
+        """Average manual verification time for a claim of given complexity."""
+        return self.config.manual_base + self.config.manual_per_element * max(0, complexity)
+
+    def expected_system_time(
+        self,
+        complexity: int,
+        options_read: int,
+        suggestions_made: int,
+        final_options_read: int = 1,
+        final_suggested: bool = False,
+    ) -> float:
+        """Average system-assisted time given the screen interactions.
+
+        ``options_read`` counts property options read across all screens,
+        ``suggestions_made`` the screens where no displayed option was
+        correct, ``final_options_read`` the candidate queries read on the
+        final screen and ``final_suggested`` whether the checker had to work
+        out the query by hand despite the tool.
+        """
+        time = self.config.system_base
+        time += self.config.system_per_element * max(0, complexity)
+        time += self.cost_model.property_verify_cost * max(0, options_read)
+        time += self.cost_model.property_suggest_cost * max(0, suggestions_made)
+        time += self.cost_model.query_verify_cost * max(0, final_options_read)
+        if final_suggested:
+            time += self.cost_model.query_suggest_cost
+        return time
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def _noisy(self, expected: float) -> float:
+        if self.config.noise_sigma == 0:
+            return expected
+        factor = float(self._rng.lognormal(mean=0.0, sigma=self.config.noise_sigma))
+        return expected * factor
+
+    def sample_manual_time(self, complexity: int) -> float:
+        return self._noisy(self.expected_manual_time(complexity))
+
+    def sample_system_time(
+        self,
+        complexity: int,
+        options_read: int,
+        suggestions_made: int,
+        final_options_read: int = 1,
+        final_suggested: bool = False,
+    ) -> float:
+        return self._noisy(
+            self.expected_system_time(
+                complexity,
+                options_read,
+                suggestions_made,
+                final_options_read,
+                final_suggested,
+            )
+        )

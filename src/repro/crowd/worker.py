@@ -1,0 +1,155 @@
+"""Simulated fact checkers.
+
+A :class:`SimulatedChecker` wraps the ground-truth oracle with human
+behaviour: reading time for displayed options, suggestion time when the
+right answer is missing, occasional mistakes on correct claims (the user
+study observed a few correct claims labelled as incorrect) and skipping of
+claims the checker does not feel confident about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.claims.model import Claim, ClaimProperty
+from repro.crowd.oracle import GroundTruthOracle
+from repro.crowd.timing import TimingModel
+from repro.planning.screens import QuestionPlan
+
+
+@dataclass(frozen=True)
+class CheckerResponse:
+    """One checker's processing of one claim."""
+
+    claim_id: str
+    checker_id: str
+    verdict: bool | None
+    elapsed_seconds: float
+    skipped: bool = False
+    used_system: bool = True
+    validated_context: dict[ClaimProperty, tuple[str, ...]] = field(default_factory=dict)
+    chosen_sql: str | None = None
+    suggested_value: float | None = None
+
+    @property
+    def decided(self) -> bool:
+        return not self.skipped and self.verdict is not None
+
+
+class SimulatedChecker:
+    """A simulated domain expert answering planner questions."""
+
+    def __init__(
+        self,
+        checker_id: str,
+        oracle: GroundTruthOracle,
+        timing: TimingModel | None = None,
+        error_rate: float = 0.03,
+        skip_rate: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        if not 0.0 <= skip_rate < 1.0:
+            raise ValueError("skip_rate must be in [0, 1)")
+        self.checker_id = checker_id
+        self._oracle = oracle
+        self._timing = timing if timing is not None else TimingModel(seed=seed)
+        self.error_rate = error_rate
+        self.skip_rate = skip_rate
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # system-assisted verification
+    # ------------------------------------------------------------------ #
+    def verify_with_plan(self, claim: Claim, plan: QuestionPlan) -> CheckerResponse:
+        """Work through the question plan for one claim."""
+        claim_id = claim.claim_id
+        if self._rng.random() < self.skip_rate:
+            return CheckerResponse(
+                claim_id=claim_id,
+                checker_id=self.checker_id,
+                verdict=None,
+                elapsed_seconds=self._timing.cost_model.property_verify_cost,
+                skipped=True,
+            )
+        options_read = 0
+        suggestions_made = 0
+        validated_context: dict[ClaimProperty, tuple[str, ...]] = {}
+        for screen in plan.screens:
+            answer = self._oracle.answer_screen(claim_id, screen)
+            if answer.displayed_hit:
+                # The checker reads options top to bottom until the correct one.
+                options_read += (answer.selected_position or 0) + 1
+            else:
+                options_read += screen.option_count
+                suggestions_made += 1
+            validated_context[screen.claim_property] = answer.selected_labels
+        final = self._oracle.answer_final(claim_id, plan.query_options)
+        final_options_read = (
+            (final.chosen_position + 1)
+            if final.chosen_position is not None
+            else len(plan.query_options)
+        )
+        elapsed = self._timing.sample_system_time(
+            complexity=self._oracle.claim_complexity(claim_id),
+            options_read=options_read,
+            suggestions_made=suggestions_made,
+            final_options_read=max(1, final_options_read),
+            final_suggested=final.suggested,
+        )
+        verdict = self._apply_error(final.verdict)
+        return CheckerResponse(
+            claim_id=claim_id,
+            checker_id=self.checker_id,
+            verdict=verdict,
+            elapsed_seconds=elapsed,
+            skipped=False,
+            used_system=True,
+            validated_context=validated_context,
+            chosen_sql=final.chosen_sql,
+            suggested_value=final.suggested_value,
+        )
+
+    # ------------------------------------------------------------------ #
+    # manual verification
+    # ------------------------------------------------------------------ #
+    def verify_manually(self, claim: Claim) -> CheckerResponse:
+        """Verify a claim the traditional way (spreadsheets and databases)."""
+        claim_id = claim.claim_id
+        if self._rng.random() < self.skip_rate:
+            return CheckerResponse(
+                claim_id=claim_id,
+                checker_id=self.checker_id,
+                verdict=None,
+                elapsed_seconds=self._timing.config.system_base,
+                skipped=True,
+                used_system=False,
+            )
+        complexity = self._oracle.claim_complexity(claim_id)
+        elapsed = self._timing.sample_manual_time(complexity)
+        truth = self._oracle.is_claim_correct(claim_id)
+        return CheckerResponse(
+            claim_id=claim_id,
+            checker_id=self.checker_id,
+            verdict=self._apply_error(truth),
+            elapsed_seconds=elapsed,
+            skipped=False,
+            used_system=False,
+            chosen_sql=self._oracle.corpus.ground_truth(claim_id).sql or None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _apply_error(self, truth: bool) -> bool:
+        """Occasionally flag a correct claim as incorrect (never the opposite).
+
+        This mirrors the user study, where the few mistakes were "all
+        correct claims labelled as incorrect".
+        """
+        if truth and self._rng.random() < self.error_rate:
+            return False
+        return truth

@@ -1,0 +1,28 @@
+"""In-memory relational substrate (the corpus of tables ``D`` of the paper).
+
+The IEA corpus is made of wide tables keyed by a single ``Index`` column and
+whose remaining attributes are mostly years (see Figure 1 of the paper).
+:class:`~repro.dataset.relation.Relation` models exactly that shape — a
+primary-key column plus named value attributes — while
+:class:`~repro.dataset.database.Database` holds the corpus and answers the
+look-ups issued by the SQL engine and the query generator.
+"""
+
+from repro.dataset.catalog import Catalog, RelationSummary
+from repro.dataset.csvio import read_relation_csv, write_relation_csv
+from repro.dataset.database import Database
+from repro.dataset.relation import Relation
+from repro.dataset.types import Value, coerce_value, is_missing, is_numeric
+
+__all__ = [
+    "Catalog",
+    "Database",
+    "Relation",
+    "RelationSummary",
+    "Value",
+    "coerce_value",
+    "is_missing",
+    "is_numeric",
+    "read_relation_csv",
+    "write_relation_csv",
+]

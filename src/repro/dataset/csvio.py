@@ -1,0 +1,68 @@
+"""CSV import/export for relations.
+
+The IEA analysts exchange their tables as spreadsheets; this module provides
+the equivalent plumbing so a user can load their own corpus from CSV files
+and persist synthetic corpora for inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.dataset.relation import Relation
+from repro.errors import SchemaError
+
+
+def read_relation_csv(
+    path: str | Path,
+    name: str | None = None,
+    key_attribute: str | None = None,
+) -> Relation:
+    """Load a relation from a CSV file.
+
+    The first row is the header.  The key column defaults to the first
+    header entry, matching the shape of the IEA tables where the ``Index``
+    column leads every sheet.  The relation name defaults to the file stem.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty") from None
+        header = [column.strip() for column in header]
+        if not header or not header[0]:
+            raise SchemaError(f"CSV file {path} has an invalid header")
+        key_column = key_attribute if key_attribute is not None else header[0]
+        if key_column not in header:
+            raise SchemaError(f"key attribute {key_column!r} not found in {path}")
+        value_attributes = [column for column in header if column != key_column]
+        relation = Relation(
+            name=name if name is not None else path.stem,
+            key_attribute=key_column,
+            attributes=value_attributes,
+        )
+        for line_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"row {line_number} of {path} has {len(row)} cells, "
+                    f"expected {len(header)}"
+                )
+            relation.insert(dict(zip(header, row)))
+    return relation
+
+
+def write_relation_csv(relation: Relation, path: str | Path) -> None:
+    """Persist a relation as a CSV file with the key column first."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = [relation.key_attribute, *relation.attributes]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for record in relation.iter_rows():
+            writer.writerow(["" if record[column] is None else record[column] for column in header])

@@ -1,0 +1,92 @@
+"""Value handling for the relational substrate.
+
+The IEA tables contain numeric measurements (often printed with thin-space
+thousand separators such as ``22 209``), occasional textual cells and missing
+values.  The helpers here normalise the textual forms the corpus uses into
+plain Python values so that the SQL function library can operate on floats.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+#: A cell of a relation: a number, a string label, or ``None`` for missing.
+Value = Union[float, int, str, None]
+
+_MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "none", "-", ".."})
+
+
+def is_missing(value: Value) -> bool:
+    """Return ``True`` if ``value`` represents a missing cell."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, str) and value.strip().lower() in _MISSING_TOKENS:
+        return True
+    return False
+
+
+def is_numeric(value: Value) -> bool:
+    """Return ``True`` if ``value`` is a usable numeric measurement."""
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return not (isinstance(value, float) and math.isnan(value))
+    return False
+
+
+def coerce_value(raw: Value) -> Value:
+    """Normalise a raw cell into ``float``, ``str`` or ``None``.
+
+    Numeric strings are converted to floats; the IEA habit of writing
+    ``22 209`` (space-grouped thousands) and ``1,234.5`` is handled, as are
+    percentages (``"3%"`` becomes ``0.03``).  Anything non-numeric is kept as
+    a stripped string, and missing markers become ``None``.
+    """
+    if is_missing(raw):
+        return None
+    if isinstance(raw, bool):
+        return float(raw)
+    if isinstance(raw, (int, float)):
+        return float(raw)
+    text = str(raw).strip()
+    if not text:
+        return None
+    return _parse_numeric_text(text)
+
+
+def _parse_numeric_text(text: str) -> Value:
+    """Parse ``text`` into a float when possible, else return the string."""
+    candidate = text
+    percent = candidate.endswith("%")
+    if percent:
+        candidate = candidate[:-1]
+    candidate = candidate.replace(" ", " ").replace(" ", " ")
+    candidate = candidate.replace(" ", "").replace(",", "")
+    if not candidate:
+        return text
+    try:
+        number = float(candidate)
+    except ValueError:
+        return text
+    if percent:
+        return number / 100.0
+    return number
+
+
+def values_close(left: float, right: float, tolerance: float) -> bool:
+    """Relative closeness test used for explicit claims (Definition 2).
+
+    The relative difference is computed against the larger magnitude so the
+    test is symmetric; two exact zeros are considered close.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if left == right:
+        return True
+    denominator = max(abs(left), abs(right))
+    if denominator == 0:
+        return True
+    return abs(left - right) / denominator <= tolerance

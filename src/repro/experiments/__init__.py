@@ -1,0 +1,34 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning plain data (lists of
+row dictionaries or series) that matches the rows/series of the
+corresponding table or figure, plus the paper's reported values where
+available so the two can be printed side by side.  The benchmarks in
+``benchmarks/`` call these entry points.
+"""
+
+from repro.experiments import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = [
+    "ExperimentRunner",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "table1",
+    "table2",
+    "table3",
+]

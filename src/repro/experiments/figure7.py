@@ -1,0 +1,52 @@
+"""Figure 7 — accumulated verification time over the verification period.
+
+The paper plots accumulated verification time (weeks) against the number of
+verified claims for Manual, Sequential and Scrutinizer: the two assisted
+processes track each other at the start and Scrutinizer pulls ahead as the
+classifiers improve, with Manual far above both throughout.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.results import SimulationSummary
+from repro.simulation.scenarios import SimulationScenario, small_scenario
+from repro.simulation.simulator import ReportSimulator
+
+
+def run(
+    scenario: SimulationScenario | None = None,
+    summary: SimulationSummary | None = None,
+    max_batches: int | None = None,
+    sample_points: int = 10,
+) -> dict[str, object]:
+    """Return accumulated-time series (weeks) for the three systems."""
+    if summary is None:
+        simulator = ReportSimulator(scenario if scenario is not None else small_scenario())
+        summary = simulator.run_all(max_batches=max_batches)
+    series: dict[str, list[tuple[int, float]]] = {}
+    for name, result in summary.runs.items():
+        cumulative = result.cumulative_weeks()
+        series[name] = _downsample(cumulative, sample_points)
+    return {"series": series, "summary": summary}
+
+
+def _downsample(cumulative: list[float], points: int) -> list[tuple[int, float]]:
+    """Keep ``points`` evenly spaced (claims verified, weeks) pairs."""
+    if not cumulative:
+        return []
+    count = len(cumulative)
+    step = max(1, count // max(1, points))
+    sampled = [
+        (index + 1, round(cumulative[index], 4)) for index in range(0, count, step)
+    ]
+    if sampled[-1][0] != count:
+        sampled.append((count, round(cumulative[-1], 4)))
+    return sampled
+
+
+def format_rows(outcome: dict[str, object]) -> str:
+    lines = ["Figure 7 — accumulated verification time (weeks) vs verified claims"]
+    for name, points in outcome["series"].items():
+        rendered = ", ".join(f"({claims}, {weeks})" for claims, weeks in points)
+        lines.append(f"{name:<14}{rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Figure 9 — per-classifier accuracy over the verification period.
+
+The paper decomposes Scrutinizer's accuracy by classifier (attribute,
+relations, row index, formula): all follow the same steep-rise-then-drop
+shape, the row-index classifier is the hardest (largest label space) and
+the attribute/formula classifiers the easiest.
+"""
+
+from __future__ import annotations
+
+from repro.claims.model import ClaimProperty
+from repro.simulation.results import SystemRunResult
+from repro.simulation.scenarios import SimulationScenario, small_scenario
+from repro.simulation.simulator import ReportSimulator
+
+
+def run(
+    scenario: SimulationScenario | None = None,
+    run_result: SystemRunResult | None = None,
+    max_batches: int | None = None,
+) -> dict[str, object]:
+    """Return per-property accuracy series for the Scrutinizer run."""
+    if run_result is None:
+        simulator = ReportSimulator(scenario if scenario is not None else small_scenario())
+        run_result = simulator.run_scrutinizer(max_batches=max_batches)
+    series = {
+        claim_property.value: [
+            round(value, 3) for value in run_result.accuracy_series(claim_property.value)
+        ]
+        for claim_property in ClaimProperty.ordered()
+    }
+    return {"series": series, "run": run_result}
+
+
+def mean_accuracy_by_property(outcome: dict[str, object]) -> dict[str, float]:
+    """Mean accuracy of each classifier over the run."""
+    means: dict[str, float] = {}
+    for name, values in outcome["series"].items():
+        means[name] = sum(values) / len(values) if values else 0.0
+    return means
+
+
+def format_rows(outcome: dict[str, object]) -> str:
+    lines = ["Figure 9 — per-classifier accuracy per batch"]
+    for name, values in outcome["series"].items():
+        lines.append(f"{name:<12}{values}")
+    return "\n".join(lines)

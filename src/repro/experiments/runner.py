@@ -1,0 +1,77 @@
+"""Runner that regenerates every table and figure in one pass.
+
+The runner shares one synthetic corpus and one simulation summary across
+the experiments that need them, so the full reproduction can be executed
+with a single call (see ``examples/full_reproduction.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+)
+from repro.simulation.scenarios import SimulationScenario, small_scenario
+from repro.simulation.simulator import ReportSimulator
+from repro.synth.report_generator import generate_corpus
+from repro.synth.study import UserStudyConfig
+
+
+@dataclass
+class ExperimentRunner:
+    """Regenerates every experiment of the evaluation section."""
+
+    scenario: SimulationScenario = field(default_factory=small_scenario)
+    study_config: UserStudyConfig = field(default_factory=UserStudyConfig)
+    max_batches: int | None = None
+
+    def run_all(self, verbose: bool = True) -> dict[str, object]:
+        """Run every experiment and return a name → outcome mapping."""
+        corpus = generate_corpus(self.scenario.corpus)
+        simulator = ReportSimulator(self.scenario)
+        simulator.use_corpus(corpus)
+
+        results: dict[str, object] = {}
+        results["table1"] = table1.run(corpus=corpus)
+        results["table3"] = table3.run()
+        results["figure5"] = figure5.run(corpus=corpus, study_config=self.study_config)
+        results["figure6"] = figure6.run(corpus=corpus, study_config=self.study_config)
+        results["figure10"] = figure10.run(
+            corpus=corpus, featurizer_config=self.scenario.featurizer
+        )
+
+        table2_outcome = table2.run(simulator=simulator, max_batches=self.max_batches)
+        results["table2"] = table2_outcome
+        summary = table2_outcome["summary"]
+        results["figure7"] = figure7.run(summary=summary)
+        results["figure8"] = figure8.run(summary=summary)
+        results["figure9"] = figure9.run(run_result=summary.get("Scrutinizer"))
+
+        if verbose:
+            print(self.render(results))
+        return results
+
+    @staticmethod
+    def render(results: dict[str, object]) -> str:
+        """Human-readable rendering of all experiment outcomes."""
+        sections = [
+            table1.format_rows(results["table1"]),
+            table3.format_rows(results["table3"]),
+            figure5.format_rows(results["figure5"]),
+            figure6.format_rows(results["figure6"]),
+            table2.format_rows(results["table2"]),
+            figure7.format_rows(results["figure7"]),
+            figure8.format_rows(results["figure8"]),
+            figure9.format_rows(results["figure9"]),
+            figure10.format_rows(results["figure10"]),
+        ]
+        return "\n\n".join(sections)

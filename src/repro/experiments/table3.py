@@ -1,0 +1,98 @@
+"""Table 3 — qualitative comparison of claim-verification systems.
+
+The table contrasts Scrutinizer with AggChecker, BriQ and StatSearch along
+task, claim scope, claim types, query model, operation count, user model and
+dataset scope.  The rows are data (:data:`repro.core.baselines.SYSTEM_PROFILES`)
+and this module renders them and checks them against the paper's table.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import SYSTEM_PROFILES, SystemProfile
+
+#: The paper's Table 3, keyed by system name.
+PAPER_TABLE3 = {
+    "Scrutinizer": {
+        "task": "check",
+        "claim_scope": "n claims",
+        "claim_types": "general",
+        "query_model": "SPA",
+        "operation_count": "100s ops",
+        "user_model": "crowd",
+        "dataset_scope": "corpus",
+    },
+    "AggChecker": {
+        "task": "check",
+        "claim_scope": "1 claim",
+        "claim_types": "explicit",
+        "query_model": "SPA",
+        "operation_count": "9 ops",
+        "user_model": "single",
+        "dataset_scope": "single",
+    },
+    "BriQ": {
+        "task": "check",
+        "claim_scope": "1 claim",
+        "claim_types": "explicit",
+        "query_model": "SPA",
+        "operation_count": "6 ops",
+        "user_model": "single",
+        "dataset_scope": "single",
+    },
+    "StatSearch": {
+        "task": "search",
+        "claim_scope": "1 claim",
+        "claim_types": "explicit",
+        "query_model": "SP",
+        "operation_count": "-",
+        "user_model": "single",
+        "dataset_scope": "corpus",
+    },
+}
+
+_COLUMNS = (
+    "task",
+    "claim_scope",
+    "claim_types",
+    "query_model",
+    "operation_count",
+    "user_model",
+    "dataset_scope",
+)
+
+
+def run() -> dict[str, object]:
+    """Return the implemented system profiles and their match with the paper."""
+    rows = [_profile_row(profile) for profile in SYSTEM_PROFILES]
+    matches = {
+        row["name"]: all(
+            row[column] == PAPER_TABLE3.get(str(row["name"]), {}).get(column)
+            for column in _COLUMNS
+        )
+        for row in rows
+    }
+    return {"rows": rows, "paper_rows": PAPER_TABLE3, "matches": matches}
+
+
+def _profile_row(profile: SystemProfile) -> dict[str, object]:
+    return {
+        "name": profile.name,
+        "task": profile.task,
+        "claim_scope": profile.claim_scope,
+        "claim_types": profile.claim_types,
+        "query_model": profile.query_model,
+        "operation_count": profile.operation_count,
+        "user_model": profile.user_model,
+        "dataset_scope": profile.dataset_scope,
+    }
+
+
+def format_rows(outcome: dict[str, object]) -> str:
+    lines = ["Table 3 — properties of the compared systems"]
+    header = f"{'system':<14}" + "".join(f"{column:<14}" for column in _COLUMNS)
+    lines.append(header)
+    for row in outcome["rows"]:
+        lines.append(
+            f"{row['name']:<14}" + "".join(f"{str(row[column]):<14}" for column in _COLUMNS)
+        )
+    return "\n".join(lines)

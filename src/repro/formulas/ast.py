@@ -1,0 +1,186 @@
+"""Abstract syntax tree for formulas with variables.
+
+Example 8 of the paper: the SELECT clause
+``POWER(a.2017/b.2016, 1/(2017-2016)) - 1`` generalises into the formula
+``POWER(a/b, 1/(A1-A2)) - 1`` where ``a``/``b`` are value variables bound to
+looked-up data values and ``A1``/``A2`` are attribute variables bound to the
+attribute labels themselves (years behave as numbers inside formulas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+FormulaNode = Union[
+    "Constant",
+    "ValueVariable",
+    "AttributeVariable",
+    "FormulaFunction",
+    "FormulaBinaryOp",
+    "FormulaUnaryOp",
+    "FormulaComparison",
+]
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A numeric constant preserved by generalisation."""
+
+    value: float
+
+    def render(self) -> str:
+        if float(self.value).is_integer():
+            return str(int(self.value))
+        return repr(float(self.value))
+
+
+@dataclass(frozen=True)
+class ValueVariable:
+    """A variable standing for a looked-up data value (``a``, ``b``, …)."""
+
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AttributeVariable:
+    """A variable standing for an attribute label (``A1``, ``A2``, …)."""
+
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FormulaFunction:
+    """A call to a function of the library ``F`` inside a formula."""
+
+    name: str
+    arguments: tuple[FormulaNode, ...]
+
+    def render(self) -> str:
+        rendered = ", ".join(argument.render() for argument in self.arguments)
+        return f"{self.name.upper()}({rendered})"
+
+
+@dataclass(frozen=True)
+class FormulaBinaryOp:
+    operator: str
+    left: FormulaNode
+    right: FormulaNode
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.operator} {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class FormulaUnaryOp:
+    operator: str
+    operand: FormulaNode
+
+    def render(self) -> str:
+        return f"({self.operator}{self.operand.render()})"
+
+
+@dataclass(frozen=True)
+class FormulaComparison:
+    """A comparison node — general claims may predict ``op`` inside the formula."""
+
+    operator: str
+    left: FormulaNode
+    right: FormulaNode
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.operator} {self.right.render()})"
+
+
+def walk(node: FormulaNode):
+    """Yield every node of a formula tree, depth first."""
+    yield node
+    if isinstance(node, FormulaFunction):
+        for argument in node.arguments:
+            yield from walk(argument)
+    elif isinstance(node, (FormulaBinaryOp, FormulaComparison)):
+        yield from walk(node.left)
+        yield from walk(node.right)
+    elif isinstance(node, FormulaUnaryOp):
+        yield from walk(node.operand)
+
+
+@dataclass(frozen=True)
+class Formula:
+    """A named formula: a root expression plus derived metadata."""
+
+    root: FormulaNode
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def value_variables(self) -> tuple[str, ...]:
+        """Distinct value-variable names in first-appearance order."""
+        names: list[str] = []
+        for node in walk(self.root):
+            if isinstance(node, ValueVariable) and node.name not in names:
+                names.append(node.name)
+        return tuple(names)
+
+    def attribute_variables(self) -> tuple[str, ...]:
+        """Distinct attribute-variable names in first-appearance order."""
+        names: list[str] = []
+        for node in walk(self.root):
+            if isinstance(node, AttributeVariable) and node.name not in names:
+                names.append(node.name)
+        return tuple(names)
+
+    def constants(self) -> tuple[float, ...]:
+        return tuple(
+            node.value for node in walk(self.root) if isinstance(node, Constant)
+        )
+
+    def function_names(self) -> tuple[str, ...]:
+        return tuple(
+            node.name.upper() for node in walk(self.root) if isinstance(node, FormulaFunction)
+        )
+
+    def comparison_operator(self) -> str | None:
+        """The comparison operator if the formula predicts one (general claims)."""
+        for node in walk(self.root):
+            if isinstance(node, FormulaComparison):
+                return node.operator
+        return None
+
+    def operation_count(self) -> int:
+        """Number of operations (functions, arithmetic and comparisons)."""
+        return sum(
+            1
+            for node in walk(self.root)
+            if isinstance(
+                node, (FormulaFunction, FormulaBinaryOp, FormulaUnaryOp, FormulaComparison)
+            )
+        )
+
+    def complexity(self) -> int:
+        """Number of elements (variables, constants, operations) in the formula."""
+        elements = 0
+        for node in walk(self.root):
+            if isinstance(node, (ValueVariable, AttributeVariable, Constant)):
+                elements += 1
+            elif isinstance(
+                node, (FormulaFunction, FormulaBinaryOp, FormulaUnaryOp, FormulaComparison)
+            ):
+                elements += 1
+        return elements
+
+    # ------------------------------------------------------------------ #
+    # rendering / identity
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """Canonical textual form, used as the classifier's class label."""
+        return self.root.render()
+
+    def __str__(self) -> str:
+        return self.render()

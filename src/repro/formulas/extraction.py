@@ -1,0 +1,269 @@
+"""Generalising past checks into reusable formulas (Section 4.2).
+
+Checker annotations describe how a claim was verified as a tree of
+operations over data values: leaves are *look-ups* (a relation, a key, an
+attribute) or constants, inner nodes apply arithmetic operators or functions
+of the library ``F``.  The extractor performs the "reconstruction" step of
+the paper: it recursively replaces every value by its producing operation
+until look-ups are reached, replaces look-ups by value variables, and
+replaces attribute labels appearing as constants by attribute variables —
+yielding a formula that can be reused on unseen claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import FormulaError
+from repro.formulas.ast import (
+    AttributeVariable,
+    Constant,
+    Formula,
+    FormulaBinaryOp,
+    FormulaComparison,
+    FormulaFunction,
+    FormulaNode,
+    FormulaUnaryOp,
+    ValueVariable,
+)
+from repro.formulas.instantiate import ValueRef
+from repro.formulas.variables import attribute_variable_name, value_variable_name
+
+#: Arithmetic operators allowed in annotation traces.
+_ARITHMETIC = {"+", "-", "*", "/"}
+_COMPARISONS = {"<", ">", "<=", ">=", "=", "<>", "!="}
+
+
+@dataclass(frozen=True)
+class LookupStep:
+    """A leaf of a check trace: read one cell of a relation."""
+
+    relation: str
+    key: str
+    attribute: str
+
+    def as_ref(self) -> ValueRef:
+        return ValueRef(relation=self.relation, key=self.key, attribute=self.attribute)
+
+
+@dataclass(frozen=True)
+class ConstantStep:
+    """A literal constant used by the check (tolerances, unit factors, ...)."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class OperationStep:
+    """An inner node: an operator or library function applied to operands."""
+
+    operation: str
+    operands: tuple["CheckStep", ...]
+
+    def __post_init__(self) -> None:
+        if not self.operands:
+            raise FormulaError(f"operation {self.operation!r} has no operands")
+
+
+CheckStep = Union[LookupStep, ConstantStep, OperationStep]
+
+
+@dataclass(frozen=True)
+class GeneralizedCheck:
+    """The outcome of generalising one check trace.
+
+    ``formula`` is the reusable template; ``value_assignment`` and
+    ``attribute_assignment`` record the binding that reproduces the original
+    check, so the pair (formula, assignments) regenerates the ground-truth
+    SQL query for the annotated claim.
+    """
+
+    formula: Formula
+    value_assignment: dict[str, ValueRef] = field(default_factory=dict)
+    attribute_assignment: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """The formula's canonical string, i.e. the classifier class label."""
+        return self.formula.render()
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for reference in self.value_assignment.values():
+            if reference.relation not in seen:
+                seen.append(reference.relation)
+        return tuple(seen)
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for reference in self.value_assignment.values():
+            if reference.key not in seen:
+                seen.append(reference.key)
+        return tuple(seen)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for reference in self.value_assignment.values():
+            if reference.attribute not in seen:
+                seen.append(reference.attribute)
+        return tuple(seen)
+
+
+class FormulaExtractor:
+    """Turns annotation traces into generalized formulas."""
+
+    def __init__(self, generalize_attribute_constants: bool = True) -> None:
+        #: Whether constants equal to an attribute label used by the check
+        #: (e.g. the years in ``1/(2017-2016)``) become attribute variables.
+        self.generalize_attribute_constants = generalize_attribute_constants
+
+    def generalize(self, trace: CheckStep) -> GeneralizedCheck:
+        """Generalise one check trace into a formula plus its original binding."""
+        state = _ExtractionState()
+        root = self._convert(trace, state)
+        if self.generalize_attribute_constants and state.attribute_by_label:
+            root = self._replace_attribute_constants(root, state)
+        return GeneralizedCheck(
+            formula=Formula(root=root),
+            value_assignment=dict(state.value_assignment),
+            attribute_assignment=dict(state.attribute_assignment),
+        )
+
+    # ------------------------------------------------------------------ #
+    # conversion
+    # ------------------------------------------------------------------ #
+    def _convert(self, step: CheckStep, state: "_ExtractionState") -> FormulaNode:
+        if isinstance(step, LookupStep):
+            return ValueVariable(name=state.variable_for_lookup(step))
+        if isinstance(step, ConstantStep):
+            return Constant(value=float(step.value))
+        if isinstance(step, OperationStep):
+            operands = tuple(self._convert(operand, state) for operand in step.operands)
+            operation = step.operation
+            if operation in _ARITHMETIC:
+                return self._fold_arithmetic(operation, operands)
+            if operation in _COMPARISONS:
+                if len(operands) != 2:
+                    raise FormulaError(
+                        f"comparison {operation!r} needs exactly two operands"
+                    )
+                return FormulaComparison(operator=operation, left=operands[0], right=operands[1])
+            if operation == "neg":
+                if len(operands) != 1:
+                    raise FormulaError("negation needs exactly one operand")
+                return FormulaUnaryOp(operator="-", operand=operands[0])
+            return FormulaFunction(name=operation.upper(), arguments=operands)
+        raise FormulaError(f"unknown check step {step!r}")
+
+    @staticmethod
+    def _fold_arithmetic(operation: str, operands: tuple[FormulaNode, ...]) -> FormulaNode:
+        if len(operands) < 2:
+            raise FormulaError(f"operator {operation!r} needs at least two operands")
+        node = operands[0]
+        for operand in operands[1:]:
+            node = FormulaBinaryOp(operator=operation, left=node, right=operand)
+        return node
+
+    def _replace_attribute_constants(
+        self, node: FormulaNode, state: "_ExtractionState"
+    ) -> FormulaNode:
+        """Replace constants equal to a referenced attribute label by its variable."""
+        if isinstance(node, Constant):
+            label = _numeric_label(node.value)
+            variable = state.attribute_by_label.get(label)
+            if variable is not None:
+                return AttributeVariable(name=variable)
+            return node
+        if isinstance(node, FormulaUnaryOp):
+            return FormulaUnaryOp(
+                operator=node.operator,
+                operand=self._replace_attribute_constants(node.operand, state),
+            )
+        if isinstance(node, FormulaBinaryOp):
+            return FormulaBinaryOp(
+                operator=node.operator,
+                left=self._replace_attribute_constants(node.left, state),
+                right=self._replace_attribute_constants(node.right, state),
+            )
+        if isinstance(node, FormulaComparison):
+            return FormulaComparison(
+                operator=node.operator,
+                left=self._replace_attribute_constants(node.left, state),
+                right=self._replace_attribute_constants(node.right, state),
+            )
+        if isinstance(node, FormulaFunction):
+            return FormulaFunction(
+                name=node.name,
+                arguments=tuple(
+                    self._replace_attribute_constants(argument, state)
+                    for argument in node.arguments
+                ),
+            )
+        return node
+
+
+class _ExtractionState:
+    """Bookkeeping of variable allocation during one generalisation."""
+
+    def __init__(self) -> None:
+        self.value_assignment: dict[str, ValueRef] = {}
+        self.attribute_assignment: dict[str, str] = {}
+        self.attribute_by_label: dict[str, str] = {}
+        self._lookup_to_variable: dict[tuple[str, str, str], str] = {}
+
+    def variable_for_lookup(self, step: LookupStep) -> str:
+        identity = (step.relation, step.key, step.attribute)
+        existing = self._lookup_to_variable.get(identity)
+        if existing is not None:
+            return existing
+        name = value_variable_name(len(self._lookup_to_variable))
+        self._lookup_to_variable[identity] = name
+        self.value_assignment[name] = step.as_ref()
+        self._register_attribute(step.attribute)
+        return name
+
+    def _register_attribute(self, label: str) -> None:
+        if label in self.attribute_by_label:
+            return
+        variable = attribute_variable_name(len(self.attribute_by_label))
+        self.attribute_by_label[label] = variable
+        self.attribute_assignment[variable] = label
+
+
+def _numeric_label(value: float) -> str:
+    """Render a numeric constant the way attribute labels are written."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# --------------------------------------------------------------------------- #
+# convenience constructors for building traces in code and tests
+# --------------------------------------------------------------------------- #
+def lookup(relation: str, key: str, attribute: str) -> LookupStep:
+    return LookupStep(relation=relation, key=key, attribute=attribute)
+
+
+def const(value: float) -> ConstantStep:
+    return ConstantStep(value=float(value))
+
+
+def op(operation: str, *operands: CheckStep) -> OperationStep:
+    return OperationStep(operation=operation, operands=tuple(operands))
+
+
+def cagr_trace(relation: str, key: str, end_year: str, start_year: str) -> OperationStep:
+    """The compound-annual-growth-rate check of Example 1, as a trace."""
+    return op(
+        "-",
+        op(
+            "POWER",
+            op("/", lookup(relation, key, end_year), lookup(relation, key, start_year)),
+            op("/", const(1), op("-", const(float(end_year)), const(float(start_year)))),
+        ),
+        const(1),
+    )

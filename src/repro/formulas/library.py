@@ -1,0 +1,106 @@
+"""A library of named formula templates.
+
+The paper learns formulas from past checks rather than assuming a fixed
+library; nonetheless, a core of recurring statistical operations (growth
+rates, shares, fold changes, sums) covers the majority of IEA checks — the
+user study selects the "10 formulas that cover the majority of the claims".
+The standard library below seeds the synthetic corpus generator and provides
+convenient entry points for users writing their own checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import FormulaError
+from repro.formulas.ast import Formula
+from repro.formulas.parser import parse_formula
+
+
+@dataclass(frozen=True)
+class FormulaTemplate:
+    """A named, documented formula."""
+
+    name: str
+    formula: Formula
+    description: str
+    #: Verbal cues that the synthetic report generator uses when phrasing
+    #: claims relying on this formula ("grew by", "accounted for", ...).
+    cues: tuple[str, ...] = ()
+
+    @property
+    def label(self) -> str:
+        """The canonical class label used by the formula classifier."""
+        return self.formula.render()
+
+
+class FormulaLibrary:
+    """A registry of :class:`FormulaTemplate`, addressable by name or label."""
+
+    def __init__(self, templates: Iterable[FormulaTemplate] = ()) -> None:
+        self._by_name: dict[str, FormulaTemplate] = {}
+        self._by_label: dict[str, FormulaTemplate] = {}
+        for template in templates:
+            self.register(template)
+
+    def register(self, template: FormulaTemplate) -> None:
+        if template.name in self._by_name:
+            raise FormulaError(f"formula template {template.name!r} already registered")
+        self._by_name[template.name] = template
+        self._by_label[template.label] = template
+
+    def by_name(self, name: str) -> FormulaTemplate:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise FormulaError(f"unknown formula template {name!r}") from None
+
+    def by_label(self, label: str) -> FormulaTemplate | None:
+        return self._by_label.get(label)
+
+    def names(self) -> list[str]:
+        return list(self._by_name)
+
+    def labels(self) -> list[str]:
+        return [template.label for template in self._by_name.values()]
+
+    def templates(self) -> list[FormulaTemplate]:
+        return list(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in self._by_name
+
+
+def standard_library() -> FormulaLibrary:
+    """The built-in formula templates used across examples and synthesis."""
+    definitions = [
+        ("lookup", "a", "direct look-up of a reported value", ("reached", "stood at", "was")),
+        ("growth_rate", "a / b - 1", "relative growth between two periods", ("grew by", "increased by", "declined by")),
+        ("cagr", "POWER(a / b, 1 / (A1 - A2)) - 1", "compound annual growth rate", ("grew on average by", "expanded annually by")),
+        ("fold_change", "a / b", "multiplicative factor between two periods", ("fold", "times higher than")),
+        ("share", "SHARE(a, b)", "share of a part in a total", ("accounted for", "represented", "made up")),
+        ("difference", "a - b", "absolute change between two values", ("rose by", "fell by", "added")),
+        ("sum2", "a + b", "sum of two quantities", ("combined", "together reached")),
+        ("sum3", "a + b + c", "sum of three quantities", ("in total", "altogether reached")),
+        ("average2", "(a + b) / 2", "average of two quantities", ("averaged", "on average")),
+        ("ratio_of_growth", "(a - b) / (c - d)", "ratio of two absolute changes", ("outpaced", "grew faster than")),
+        ("share_of_growth", "(a - b) / c", "contribution of a change to a total", ("contributed", "accounted for the increase")),
+        ("threshold_exceeds", "a > b", "one quantity exceeds another", ("surpassed", "overtook", "exceeded")),
+        ("positive_growth", "(a - b) > 0", "a quantity increased", ("expanded", "increased", "rose")),
+        ("negative_growth", "(a - b) < 0", "a quantity decreased", ("contracted", "declined", "fell")),
+    ]
+    templates = []
+    for name, text, description, cues in definitions:
+        templates.append(
+            FormulaTemplate(
+                name=name,
+                formula=parse_formula(text),
+                description=description,
+                cues=tuple(cues),
+            )
+        )
+    return FormulaLibrary(templates)

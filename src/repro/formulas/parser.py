@@ -1,0 +1,136 @@
+"""Parser turning formula text back into a :class:`Formula`.
+
+Formula labels are stored as canonical strings (for instance in the training
+corpus of the formula classifier); this parser reconstructs the AST, so that
+formula classes round-trip between text and structure.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import FormulaSyntaxError
+from repro.formulas.ast import (
+    AttributeVariable,
+    Constant,
+    Formula,
+    FormulaBinaryOp,
+    FormulaComparison,
+    FormulaFunction,
+    FormulaNode,
+    FormulaUnaryOp,
+    ValueVariable,
+)
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+from repro.errors import SQLSyntaxError
+
+_ATTRIBUTE_VARIABLE_PATTERN = re.compile(r"^A\d+$")
+_COMPARISON_OPERATORS = {"<", ">", "<=", ">=", "=", "<>", "!="}
+
+
+class _FormulaParser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._current
+        if token.type is not token_type:
+            raise FormulaSyntaxError(
+                f"expected {token_type.name}, found {token.value!r} at {token.position}"
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------ #
+    # grammar (mirrors the SQL expression grammar, over variables)
+    # ------------------------------------------------------------------ #
+    def parse(self) -> FormulaNode:
+        node = self.parse_comparison()
+        if self._current.type is not TokenType.END:
+            raise FormulaSyntaxError(
+                f"unexpected trailing token {self._current.value!r} "
+                f"at {self._current.position}"
+            )
+        return node
+
+    def parse_comparison(self) -> FormulaNode:
+        left = self.parse_sum()
+        token = self._current
+        if token.type is TokenType.COMPARISON and token.value in _COMPARISON_OPERATORS:
+            self._advance()
+            right = self.parse_sum()
+            return FormulaComparison(operator=token.value, left=left, right=right)
+        return left
+
+    def parse_sum(self) -> FormulaNode:
+        node = self.parse_product()
+        while self._current.type is TokenType.OPERATOR and self._current.value in "+-":
+            operator = self._advance().value
+            right = self.parse_product()
+            node = FormulaBinaryOp(operator=operator, left=node, right=right)
+        return node
+
+    def parse_product(self) -> FormulaNode:
+        node = self.parse_unary()
+        while self._current.type is TokenType.OPERATOR and self._current.value in "*/":
+            operator = self._advance().value
+            right = self.parse_unary()
+            node = FormulaBinaryOp(operator=operator, left=node, right=right)
+        return node
+
+    def parse_unary(self) -> FormulaNode:
+        if self._current.type is TokenType.OPERATOR and self._current.value in "+-":
+            operator = self._advance().value
+            return FormulaUnaryOp(operator=operator, operand=self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> FormulaNode:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Constant(value=float(token.value))
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self.parse_comparison()
+            self._expect(TokenType.RPAREN)
+            return inner
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            return self._parse_identifier()
+        raise FormulaSyntaxError(f"unexpected token {token.value!r} at {token.position}")
+
+    def _parse_identifier(self) -> FormulaNode:
+        name = self._advance().value
+        if self._current.type is TokenType.LPAREN:
+            self._advance()
+            arguments: list[FormulaNode] = []
+            if self._current.type is not TokenType.RPAREN:
+                arguments.append(self.parse_comparison())
+                while self._current.type is TokenType.COMMA:
+                    self._advance()
+                    arguments.append(self.parse_comparison())
+            self._expect(TokenType.RPAREN)
+            return FormulaFunction(name=name.upper(), arguments=tuple(arguments))
+        if _ATTRIBUTE_VARIABLE_PATTERN.match(name):
+            return AttributeVariable(name=name)
+        return ValueVariable(name=name)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse formula text such as ``"POWER(a / b, 1 / (A1 - A2)) - 1"``."""
+    if not text or not text.strip():
+        raise FormulaSyntaxError("empty formula text")
+    try:
+        tokens = tokenize(text)
+    except SQLSyntaxError as error:
+        raise FormulaSyntaxError(str(error)) from error
+    root = _FormulaParser(tokens).parse()
+    return Formula(root=root)

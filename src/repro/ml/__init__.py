@@ -1,0 +1,32 @@
+"""Machine-learning substrate for the property classifiers.
+
+The paper trains one classifier per query property (relations, primary-key
+values, attributes, formulas) over the Figure 4 features.  scikit-learn is
+not available offline, so the package implements the needed model classes on
+top of numpy: multinomial (softmax) logistic regression, multinomial naive
+Bayes and a k-nearest-neighbour fallback, together with label encoding,
+evaluation metrics (accuracy, top-k accuracy, distribution entropy) and the
+active-learning utilities of Section 5.2.
+"""
+
+from repro.ml.active import UncertaintySampler, prediction_entropy
+from repro.ml.base import Classifier, Prediction
+from repro.ml.encoding import LabelEncoder
+from repro.ml.knn import KNearestNeighborsClassifier
+from repro.ml.logistic import SoftmaxRegressionClassifier
+from repro.ml.metrics import accuracy, entropy, top_k_accuracy
+from repro.ml.naive_bayes import MultinomialNaiveBayesClassifier
+
+__all__ = [
+    "Classifier",
+    "KNearestNeighborsClassifier",
+    "LabelEncoder",
+    "MultinomialNaiveBayesClassifier",
+    "Prediction",
+    "SoftmaxRegressionClassifier",
+    "UncertaintySampler",
+    "accuracy",
+    "entropy",
+    "prediction_entropy",
+    "top_k_accuracy",
+]

@@ -1,0 +1,58 @@
+"""Active-learning utilities (Section 5.2, Definition 7).
+
+The training utility of an unverified claim is the sum, over the property
+models, of the entropy of the predicted distribution — "picking training
+samples with maximal uncertainty is a popular heuristic in the context of
+active learning. We follow this approach as well."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.ml.base import Prediction
+
+
+def prediction_entropy(prediction: Prediction) -> float:
+    """Entropy of a single predicted distribution."""
+    return prediction.entropy()
+
+
+def training_utility(predictions: Mapping[str, Prediction]) -> float:
+    """Training utility ``u(c) = sum over models of entropy`` (Definition 7).
+
+    ``predictions`` maps model name → predicted distribution for one claim.
+    """
+    return sum(prediction.entropy() for prediction in predictions.values())
+
+
+class UncertaintySampler:
+    """Ranks unlabelled samples by their training utility."""
+
+    def __init__(self, maximum_entropy_first: bool = True) -> None:
+        self.maximum_entropy_first = maximum_entropy_first
+
+    def rank(
+        self, utilities: Sequence[float], identifiers: Sequence[object] | None = None
+    ) -> list[object]:
+        """Return identifiers (or indices) sorted by utility."""
+        if identifiers is None:
+            identifiers = list(range(len(utilities)))
+        if len(utilities) != len(identifiers):
+            raise ValueError("utilities and identifiers must be aligned")
+        order = sorted(
+            range(len(utilities)),
+            key=lambda index: -utilities[index] if self.maximum_entropy_first else utilities[index],
+        )
+        return [identifiers[index] for index in order]
+
+    def select(
+        self,
+        utilities: Sequence[float],
+        count: int,
+        identifiers: Sequence[object] | None = None,
+    ) -> list[object]:
+        """Pick the ``count`` most useful samples."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self.rank(utilities, identifiers)[:count]

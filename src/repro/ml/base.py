@@ -1,0 +1,78 @@
+"""Common classifier interface and prediction container."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A ranked probability distribution over string labels."""
+
+    labels: tuple[str, ...]
+    probabilities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.probabilities):
+            raise ValueError("labels and probabilities must be aligned")
+
+    @property
+    def top_label(self) -> str | None:
+        return self.labels[0] if self.labels else None
+
+    @property
+    def top_probability(self) -> float:
+        return self.probabilities[0] if self.probabilities else 0.0
+
+    def top_k(self, k: int) -> list[tuple[str, float]]:
+        """The ``k`` most probable labels with their probabilities."""
+        return list(zip(self.labels[:k], self.probabilities[:k]))
+
+    def probability_of(self, label: str) -> float:
+        for candidate, probability in zip(self.labels, self.probabilities):
+            if candidate == label:
+                return probability
+        return 0.0
+
+    def entropy(self) -> float:
+        """Shannon entropy of the distribution (used by Definition 7)."""
+        probabilities = np.asarray(self.probabilities, dtype=float)
+        positive = probabilities[probabilities > 0]
+        if positive.size == 0:
+            return 0.0
+        return float(-np.sum(positive * np.log(positive)))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(self.labels, self.probabilities))
+
+    @staticmethod
+    def from_distribution(labels: Sequence[str], probabilities: Sequence[float]) -> "Prediction":
+        """Build a prediction sorted by decreasing probability."""
+        pairs = sorted(zip(labels, probabilities), key=lambda pair: (-pair[1], pair[0]))
+        return Prediction(
+            labels=tuple(label for label, _ in pairs),
+            probabilities=tuple(float(probability) for _, probability in pairs),
+        )
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Protocol implemented by every property classifier."""
+
+    def fit(self, features: np.ndarray, labels: Sequence[str]) -> "Classifier":
+        """Train from scratch on the given samples."""
+
+    def predict(self, features: np.ndarray) -> Prediction:
+        """Predict the ranked label distribution for one feature vector."""
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the classifier has been trained."""
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """Labels the classifier can currently predict."""

@@ -1,0 +1,76 @@
+"""Label encoding for string-valued property labels.
+
+The property classifiers predict relation names, key values, attribute
+labels and formula templates — all strings.  The encoder maps labels to
+contiguous integer indices and back, and can grow as new labels appear
+during active learning (previously unseen formulas are learned "during the
+verification process", Section 7).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class LabelEncoder:
+    """Bidirectional mapping between string labels and integer indices."""
+
+    def __init__(self) -> None:
+        self._label_to_index: dict[str, int] = {}
+        self._labels: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # building the mapping
+    # ------------------------------------------------------------------ #
+    def fit(self, labels: Iterable[str]) -> "LabelEncoder":
+        self._label_to_index = {}
+        self._labels = []
+        self.partial_fit(labels)
+        return self
+
+    def partial_fit(self, labels: Iterable[str]) -> "LabelEncoder":
+        """Add any previously unseen labels, keeping existing indices stable."""
+        for label in labels:
+            label = str(label)
+            if label not in self._label_to_index:
+                self._label_to_index[label] = len(self._labels)
+                self._labels.append(label)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # conversion
+    # ------------------------------------------------------------------ #
+    @property
+    def classes(self) -> tuple[str, ...]:
+        return tuple(self._labels)
+
+    @property
+    def class_count(self) -> int:
+        return len(self._labels)
+
+    def index_of(self, label: str) -> int:
+        try:
+            return self._label_to_index[str(label)]
+        except KeyError:
+            raise NotFittedError(f"label {label!r} has not been seen by the encoder") from None
+
+    def label_of(self, index: int) -> str:
+        if not 0 <= index < len(self._labels):
+            raise NotFittedError(f"index {index} is outside the encoded label range")
+        return self._labels[index]
+
+    def encode(self, labels: Sequence[str]) -> np.ndarray:
+        return np.array([self.index_of(label) for label in labels], dtype=np.int64)
+
+    def decode(self, indices: Sequence[int]) -> list[str]:
+        return [self.label_of(int(index)) for index in indices]
+
+    def __contains__(self, label: object) -> bool:
+        return isinstance(label, str) and label in self._label_to_index
+
+    def __len__(self) -> int:
+        return len(self._labels)

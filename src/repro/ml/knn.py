@@ -1,0 +1,82 @@
+"""k-nearest-neighbour classifier used as a cold-start fallback.
+
+With only a handful of labelled claims (the cold-start scenario of
+Section 6.2) parametric models barely beat chance; a cosine-similarity k-NN
+over the same feature vectors provides usable rankings from the very first
+labels and is therefore the default model while the training set is tiny.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.base import Prediction
+from repro.ml.encoding import LabelEncoder
+
+
+class KNearestNeighborsClassifier:
+    """Cosine-similarity k-NN with similarity-weighted voting."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self._encoder = LabelEncoder()
+        self._features: np.ndarray | None = None
+        self._norms: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: Sequence[str]) -> "KNearestNeighborsClassifier":
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        if features.shape[0] != len(labels):
+            raise ValueError("features and labels must have the same length")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self._encoder = LabelEncoder().fit(labels)
+        self._features = features
+        self._norms = np.linalg.norm(features, axis=1)
+        self._targets = self._encoder.encode(labels)
+        return self
+
+    def predict(self, features: np.ndarray) -> Prediction:
+        if self._features is None or self._targets is None or self._norms is None:
+            raise NotFittedError("KNearestNeighborsClassifier used before fit")
+        vector = np.asarray(features, dtype=float)
+        if vector.ndim == 2 and vector.shape[0] == 1:
+            vector = vector[0]
+        if vector.ndim != 1:
+            raise ValueError("predict expects a single feature vector")
+        query_norm = np.linalg.norm(vector)
+        denominators = self._norms * query_norm
+        denominators[denominators == 0] = 1.0
+        similarities = (self._features @ vector) / denominators
+        neighbour_count = min(self.k, similarities.shape[0])
+        neighbour_indices = np.argsort(-similarities)[:neighbour_count]
+        votes: dict[int, float] = defaultdict(float)
+        for index in neighbour_indices:
+            # Shift similarities into [0, 2] so negative cosine still counts a little.
+            votes[int(self._targets[index])] += float(similarities[index]) + 1.0
+        class_count = self._encoder.class_count
+        scores = np.zeros(class_count)
+        for target, weight in votes.items():
+            scores[target] = weight
+        total = scores.sum()
+        if total <= 0:
+            probabilities = np.full(class_count, 1.0 / class_count)
+        else:
+            probabilities = scores / total
+        return Prediction.from_distribution(self._encoder.classes, probabilities)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._features is not None
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        return self._encoder.classes

@@ -1,0 +1,132 @@
+"""Multinomial (softmax) logistic regression on numpy.
+
+This is the workhorse property classifier: a linear model over the Figure 4
+features with a softmax output, trained by full-batch gradient descent with
+L2 regularisation.  It returns calibrated probability distributions, which
+the question planner consumes directly (expected verification cost and
+pruning power are both defined over answer-option probabilities).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.base import Prediction
+from repro.ml.encoding import LabelEncoder
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / np.sum(exponentials, axis=-1, keepdims=True)
+
+
+class SoftmaxRegressionClassifier:
+    """Multinomial logistic regression with gradient-descent training.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size of the gradient descent.
+    epochs:
+        Number of full passes over the training data.
+    l2:
+        L2 regularisation strength applied to the weights (not the bias).
+    seed:
+        Seed for the (small) random weight initialisation.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        epochs: int = 150,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self._encoder = LabelEncoder()
+        self._weights: np.ndarray | None = None
+        self._bias: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, labels: Sequence[str]) -> "SoftmaxRegressionClassifier":
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        if features.shape[0] != len(labels):
+            raise ValueError("features and labels must have the same length")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self._encoder = LabelEncoder().fit(labels)
+        targets = self._encoder.encode(labels)
+        sample_count, feature_count = features.shape
+        class_count = self._encoder.class_count
+        generator = np.random.default_rng(self.seed)
+        self._weights = generator.normal(scale=0.01, size=(feature_count, class_count))
+        self._bias = np.zeros(class_count)
+        one_hot = np.zeros((sample_count, class_count))
+        one_hot[np.arange(sample_count), targets] = 1.0
+        for _ in range(self.epochs):
+            logits = features @ self._weights + self._bias
+            probabilities = _softmax(logits)
+            error = (probabilities - one_hot) / sample_count
+            gradient_weights = features.T @ error + self.l2 * self._weights
+            gradient_bias = np.sum(error, axis=0)
+            self._weights -= self.learning_rate * gradient_weights
+            self._bias -= self.learning_rate * gradient_bias
+        return self
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+    def predict(self, features: np.ndarray) -> Prediction:
+        probabilities = self.predict_proba(features)
+        return Prediction.from_distribution(self._encoder.classes, probabilities)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of each known class, aligned with :attr:`classes`."""
+        if self._weights is None or self._bias is None:
+            raise NotFittedError("SoftmaxRegressionClassifier used before fit")
+        vector = np.asarray(features, dtype=float)
+        if vector.ndim == 2 and vector.shape[0] == 1:
+            vector = vector[0]
+        if vector.ndim != 1:
+            raise ValueError("predict expects a single feature vector")
+        if vector.shape[0] != self._weights.shape[0]:
+            raise ValueError(
+                f"feature dimension mismatch: got {vector.shape[0]}, "
+                f"expected {self._weights.shape[0]}"
+            )
+        logits = vector @ self._weights + self._bias
+        return _softmax(logits)
+
+    def predict_batch(self, features: np.ndarray) -> list[Prediction]:
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("predict_batch expects a 2-D matrix")
+        return [self.predict(row) for row in matrix]
+
+    # ------------------------------------------------------------------ #
+    # metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        return self._encoder.classes

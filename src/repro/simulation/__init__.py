@@ -1,0 +1,20 @@
+"""Report-level verification simulation (Section 6.2 of the paper).
+
+The simulator runs the Manual, Sequential and Scrutinizer processes over a
+full synthetic report in a cold-start setting and collects the quantities
+the paper reports: total verification time (weeks), savings, classifier
+accuracy over time and computational overheads.
+"""
+
+from repro.simulation.results import SimulationSummary, SystemRunResult
+from repro.simulation.scenarios import SimulationScenario, default_scenario, small_scenario
+from repro.simulation.simulator import ReportSimulator
+
+__all__ = [
+    "ReportSimulator",
+    "SimulationScenario",
+    "SimulationSummary",
+    "SystemRunResult",
+    "default_scenario",
+    "small_scenario",
+]

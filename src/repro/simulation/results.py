@@ -1,0 +1,87 @@
+"""Result containers for the report-level simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import VerificationReport
+
+
+@dataclass(frozen=True)
+class SystemRunResult:
+    """Outcome of simulating one system (Manual / Sequential / Scrutinizer)."""
+
+    system_name: str
+    report: VerificationReport
+    wall_clock_seconds: float
+
+    @property
+    def total_weeks(self) -> float:
+        return self.report.total_weeks
+
+    @property
+    def computation_minutes(self) -> float:
+        return self.report.computation_seconds / 60.0
+
+    @property
+    def average_accuracy(self) -> float:
+        return self.report.average_classifier_accuracy("average")
+
+    @property
+    def max_accuracy(self) -> float:
+        return self.report.max_classifier_accuracy("average")
+
+    def cumulative_weeks(self, checkers: int | None = None) -> list[float]:
+        """Accumulated verification time in weeks after each claim (Figure 7)."""
+        from repro.core.report import seconds_to_weeks
+
+        team = checkers if checkers is not None else self.report.checker_count
+        return [
+            seconds_to_weeks(seconds, checkers=team)
+            for seconds in self.report.cumulative_seconds()
+        ]
+
+    def accuracy_series(self, series: str = "average") -> list[float]:
+        """Per-batch accuracy values (Figures 8 and 9)."""
+        return [entry.get(series, 0.0) for entry in self.report.accuracy_history]
+
+
+@dataclass
+class SimulationSummary:
+    """The Table 2 style summary across systems."""
+
+    runs: dict[str, SystemRunResult] = field(default_factory=dict)
+
+    def add(self, run: SystemRunResult) -> None:
+        self.runs[run.system_name] = run
+
+    def get(self, system_name: str) -> SystemRunResult:
+        return self.runs[system_name]
+
+    def savings(self, system_name: str, baseline: str = "Manual") -> float:
+        """Fractional time savings of ``system_name`` against ``baseline``."""
+        if baseline not in self.runs or system_name not in self.runs:
+            return 0.0
+        return self.runs[system_name].report.savings_against(self.runs[baseline].report)
+
+    def table_rows(self) -> list[dict[str, object]]:
+        """Rows matching Table 2: time, savings, accuracy, computation."""
+        rows: list[dict[str, object]] = []
+        for name, run in self.runs.items():
+            rows.append(
+                {
+                    "system": name,
+                    "time_weeks": round(run.total_weeks, 2),
+                    "savings_pct": round(100 * self.savings(name), 1) if name != "Manual" else None,
+                    "avg_accuracy_pct": round(100 * run.average_accuracy, 1)
+                    if name != "Manual"
+                    else None,
+                    "max_accuracy_pct": round(100 * run.max_accuracy, 1)
+                    if name != "Manual"
+                    else None,
+                    "computation_minutes": round(run.computation_minutes, 1)
+                    if name != "Manual"
+                    else None,
+                }
+            )
+        return rows

@@ -1,0 +1,79 @@
+"""Simulation scenarios: corpus size, batching and system configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import BatchingConfig, ScrutinizerConfig
+from repro.synth.energy_data import EnergyDataConfig
+from repro.synth.report_generator import SyntheticCorpusConfig
+from repro.text.features import FeaturizerConfig
+
+
+@dataclass(frozen=True)
+class SimulationScenario:
+    """Everything needed to run one report-level simulation."""
+
+    name: str
+    corpus: SyntheticCorpusConfig
+    system: ScrutinizerConfig
+    featurizer: FeaturizerConfig = field(default_factory=FeaturizerConfig)
+    #: Claims sampled per batch when evaluating classifier accuracy.
+    accuracy_sample_size: int = 60
+
+
+def default_scenario(seed: int = 7) -> SimulationScenario:
+    """The paper-scale scenario: 1539 claims, three checkers, batches of 100.
+
+    Running it end to end takes tens of minutes on a laptop because the
+    classifiers are retrained after every batch; use
+    :func:`small_scenario` for tests and quick benchmarks.
+    """
+    corpus = SyntheticCorpusConfig(
+        claim_count=1539,
+        section_count=40,
+        explicit_fraction=0.5,
+        error_fraction=0.25,
+        data=EnergyDataConfig(relation_count=60, rows_per_relation=22, seed=seed + 1),
+        seed=seed,
+    )
+    system = ScrutinizerConfig(
+        checker_count=3,
+        options_per_property=10,
+        batching=BatchingConfig(max_batch_size=100, utility_weight=1.0),
+        seed=seed,
+    )
+    featurizer = FeaturizerConfig(word_max_features=1200, char_max_features=1200, seed=seed)
+    return SimulationScenario(
+        name="paper-scale",
+        corpus=corpus,
+        system=system,
+        featurizer=featurizer,
+        accuracy_sample_size=80,
+    )
+
+
+def small_scenario(seed: int = 7, claim_count: int = 180) -> SimulationScenario:
+    """A laptop-friendly scenario preserving the shape of the full run."""
+    corpus = SyntheticCorpusConfig(
+        claim_count=claim_count,
+        section_count=12,
+        explicit_fraction=0.5,
+        error_fraction=0.25,
+        data=EnergyDataConfig(relation_count=20, rows_per_relation=16, seed=seed + 1),
+        seed=seed,
+    )
+    system = ScrutinizerConfig(
+        checker_count=3,
+        options_per_property=10,
+        batching=BatchingConfig(max_batch_size=30, utility_weight=1.0),
+        seed=seed,
+    )
+    featurizer = FeaturizerConfig(word_max_features=400, char_max_features=400, seed=seed)
+    return SimulationScenario(
+        name="small",
+        corpus=corpus,
+        system=system,
+        featurizer=featurizer,
+        accuracy_sample_size=40,
+    )

@@ -1,0 +1,124 @@
+"""Full-report verification simulator (Section 6.2).
+
+The simulator builds a synthetic corpus for a scenario, then runs the three
+compared processes over it in a cold-start setting:
+
+* **Manual** — every claim checked by hand,
+* **Sequential** — Scrutinizer without claim ordering,
+* **Scrutinizer** — the full system with ILP-based batch selection.
+
+Outputs feed Table 2 and Figures 7–9 of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.claims.corpus import ClaimCorpus
+from repro.core.baselines import ManualBaseline
+from repro.core.scrutinizer import Scrutinizer
+from repro.errors import SimulationError
+from repro.simulation.results import SimulationSummary, SystemRunResult
+from repro.simulation.scenarios import SimulationScenario, small_scenario
+from repro.synth.report_generator import generate_corpus
+from repro.text.features import ClaimFeaturizer
+from repro.translation.preprocess import ClaimPreprocessor
+from repro.translation.translator import ClaimTranslator
+
+
+class ReportSimulator:
+    """Runs the compared verification processes over one synthetic report."""
+
+    def __init__(self, scenario: SimulationScenario | None = None) -> None:
+        self.scenario = scenario if scenario is not None else small_scenario()
+        self._corpus: ClaimCorpus | None = None
+
+    # ------------------------------------------------------------------ #
+    # corpus management
+    # ------------------------------------------------------------------ #
+    @property
+    def corpus(self) -> ClaimCorpus:
+        if self._corpus is None:
+            self._corpus = generate_corpus(self.scenario.corpus)
+        return self._corpus
+
+    def use_corpus(self, corpus: ClaimCorpus) -> None:
+        """Inject a pre-built corpus (used by tests and benchmarks)."""
+        self._corpus = corpus
+
+    # ------------------------------------------------------------------ #
+    # individual runs
+    # ------------------------------------------------------------------ #
+    def _build_translator(self) -> ClaimTranslator:
+        featurizer = ClaimFeaturizer(self.scenario.featurizer)
+        preprocessor = ClaimPreprocessor(featurizer)
+        translator = ClaimTranslator(
+            self.corpus.database,
+            config=self.scenario.system.translation,
+            preprocessor=preprocessor,
+        )
+        claims = [annotated.claim for annotated in self.corpus]
+        translator.bootstrap(claims, fit_features_only=True)
+        return translator
+
+    def run_manual(self) -> SystemRunResult:
+        started = time.perf_counter()
+        baseline = ManualBaseline(self.corpus, config=self.scenario.system)
+        report = baseline.verify()
+        return SystemRunResult(
+            system_name="Manual",
+            report=report,
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+
+    def run_sequential(self, max_batches: int | None = None) -> SystemRunResult:
+        started = time.perf_counter()
+        system = Scrutinizer(
+            self.corpus,
+            config=self.scenario.system.as_sequential(),
+            translator=self._build_translator(),
+            accuracy_sample_size=self.scenario.accuracy_sample_size,
+        )
+        report = system.verify(max_batches=max_batches)
+        return SystemRunResult(
+            system_name="Sequential",
+            report=report,
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+
+    def run_scrutinizer(self, max_batches: int | None = None) -> SystemRunResult:
+        started = time.perf_counter()
+        system = Scrutinizer(
+            self.corpus,
+            config=self.scenario.system,
+            translator=self._build_translator(),
+            accuracy_sample_size=self.scenario.accuracy_sample_size,
+        )
+        report = system.verify(max_batches=max_batches)
+        return SystemRunResult(
+            system_name="Scrutinizer",
+            report=report,
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    # full comparison (Table 2)
+    # ------------------------------------------------------------------ #
+    def run_all(self, max_batches: int | None = None) -> SimulationSummary:
+        """Run Manual, Sequential and Scrutinizer over the same corpus."""
+        summary = SimulationSummary()
+        summary.add(self.run_manual())
+        summary.add(self.run_sequential(max_batches=max_batches))
+        summary.add(self.run_scrutinizer(max_batches=max_batches))
+        return summary
+
+    def run(self, system_name: str, max_batches: int | None = None) -> SystemRunResult:
+        """Run a single named system."""
+        name = system_name.lower()
+        if name == "manual":
+            return self.run_manual()
+        if name == "sequential":
+            return self.run_sequential(max_batches=max_batches)
+        if name == "scrutinizer":
+            return self.run_scrutinizer(max_batches=max_batches)
+        raise SimulationError(f"unknown system {system_name!r}")

@@ -1,0 +1,137 @@
+"""Programmatic construction of statistical-check queries.
+
+Algorithm 2 of the paper rewrites variable assignments into SQL by filling a
+query template — "an SQL string with placeholders, as described in
+Definition 3".  :class:`QueryBuilder` offers a fluent way to assemble the
+same queries as AST objects, and :class:`QueryTemplate` captures the
+placeholder-filling step used during query generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLError
+from repro.sqlengine.ast import (
+    Expression,
+    FromItem,
+    KeyDisjunction,
+    KeyPredicate,
+    Query,
+)
+from repro.sqlengine.parser import parse_expression
+
+
+class QueryBuilder:
+    """Fluent builder for :class:`~repro.sqlengine.ast.Query` objects."""
+
+    def __init__(self, key_attribute: str = "Index") -> None:
+        self._key_attribute = key_attribute
+        self._select: Expression | None = None
+        self._from_items: list[FromItem] = []
+        self._where: list[KeyDisjunction] = []
+
+    def select(self, expression: Expression | str) -> "QueryBuilder":
+        """Set the SELECT expression (AST node or SQL expression text)."""
+        if isinstance(expression, str):
+            expression = parse_expression(expression)
+        self._select = expression
+        return self
+
+    def from_relation(self, relation: str, alias: str | None = None) -> "QueryBuilder":
+        """Add a relation/alias pair to the FROM clause."""
+        alias = alias if alias is not None else relation
+        if any(item.alias == alias for item in self._from_items):
+            raise SQLError(f"duplicate alias {alias!r} in FROM clause")
+        self._from_items.append(FromItem(relation=relation, alias=alias))
+        return self
+
+    def where_key(self, alias: str, *values: str, attribute: str | None = None) -> "QueryBuilder":
+        """Constrain ``alias`` to one or more admissible key values."""
+        if not values:
+            raise SQLError("where_key needs at least one admissible value")
+        attribute = attribute if attribute is not None else self._key_attribute
+        predicates = tuple(
+            KeyPredicate(alias=alias, attribute=attribute, value=str(value)) for value in values
+        )
+        self._where.append(KeyDisjunction(predicates=predicates))
+        return self
+
+    def build(self) -> Query:
+        if self._select is None:
+            raise SQLError("the SELECT expression has not been set")
+        if not self._from_items:
+            raise SQLError("the FROM clause is empty")
+        known_aliases = {item.alias for item in self._from_items}
+        for clause in self._where:
+            if clause.alias not in known_aliases:
+                raise SQLError(f"WHERE references unknown alias {clause.alias!r}")
+        return Query(
+            select=self._select,
+            from_items=tuple(self._from_items),
+            where=tuple(self._where),
+        )
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """An SQL string with named placeholders, filled during query generation.
+
+    Placeholders are written ``{name}``; :meth:`fill` substitutes them with
+    concrete relation names, key values and attribute labels.  The template
+    form matches the paper's description of the rewriting step of
+    Algorithm 2 (lines 24 and 27).
+    """
+
+    text: str
+
+    def placeholder_names(self) -> list[str]:
+        names: list[str] = []
+        index = 0
+        while index < len(self.text):
+            start = self.text.find("{", index)
+            if start == -1:
+                break
+            end = self.text.find("}", start)
+            if end == -1:
+                raise SQLError(f"unbalanced placeholder braces in template: {self.text!r}")
+            name = self.text[start + 1 : end]
+            if not name:
+                raise SQLError("empty placeholder name in template")
+            if name not in names:
+                names.append(name)
+            index = end + 1
+        return names
+
+    def fill(self, **values: str) -> str:
+        """Substitute every placeholder; missing or extra names are errors."""
+        required = set(self.placeholder_names())
+        provided = set(values)
+        missing = required - provided
+        if missing:
+            raise SQLError(f"missing placeholder values: {sorted(missing)}")
+        extra = provided - required
+        if extra:
+            raise SQLError(f"unknown placeholder values: {sorted(extra)}")
+        filled = self.text
+        for name, value in values.items():
+            filled = filled.replace("{" + name + "}", str(value))
+        return filled
+
+
+def lookup_query(
+    relation: str,
+    key: str,
+    attribute: str,
+    key_attribute: str = "Index",
+    alias: str = "a",
+) -> Query:
+    """Convenience constructor for a plain look-up query."""
+    builder = QueryBuilder(key_attribute=key_attribute)
+    select = f'{alias}."{attribute}"' if attribute[0].isdigit() else f"{alias}.{attribute}"
+    return (
+        builder.select(select)
+        .from_relation(relation, alias)
+        .where_key(alias, key)
+        .build()
+    )

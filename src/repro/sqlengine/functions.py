@@ -1,0 +1,271 @@
+"""The function library ``F`` used in statistical-check queries.
+
+The paper observes more than one hundred different combinations of operations
+in the IEA checks; they are all built out of a modest set of primitive
+mathematical and aggregate SQL functions, combined with arithmetic operators.
+This module implements those primitives.  The library is extensible because
+"we do not assume that F is fixed in general, as different combinations are
+used in different domains" (Section 2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import SQLExecutionError, UnknownFunctionError
+
+Number = float
+
+
+def _flatten(arguments: Sequence[object]) -> list[float]:
+    """Flatten scalar/list arguments into a list of floats, skipping None."""
+    values: list[float] = []
+    for argument in arguments:
+        if argument is None:
+            continue
+        if isinstance(argument, (list, tuple)):
+            values.extend(_flatten(argument))
+        elif isinstance(argument, bool):
+            values.append(float(argument))
+        elif isinstance(argument, (int, float)):
+            values.append(float(argument))
+        else:
+            raise SQLExecutionError(f"non-numeric value in aggregate: {argument!r}")
+    return values
+
+
+def _require(arguments: Sequence[object], count: int, name: str) -> list[float]:
+    if len(arguments) != count:
+        raise SQLExecutionError(f"{name} expects {count} arguments, got {len(arguments)}")
+    values: list[float] = []
+    for argument in arguments:
+        if argument is None:
+            raise SQLExecutionError(f"{name} received a missing value")
+        if isinstance(argument, (list, tuple)):
+            raise SQLExecutionError(f"{name} expects scalar arguments")
+        values.append(float(argument))
+    return values
+
+
+@dataclass(frozen=True)
+class SQLFunction:
+    """A named function of the library ``F``."""
+
+    name: str
+    implementation: Callable[[Sequence[object]], float]
+    arity: int | None
+    aggregate: bool = False
+    description: str = ""
+
+    def __call__(self, arguments: Sequence[object]) -> float:
+        if self.arity is not None and len(arguments) != self.arity:
+            raise SQLExecutionError(
+                f"{self.name} expects {self.arity} arguments, got {len(arguments)}"
+            )
+        return self.implementation(arguments)
+
+
+# --------------------------------------------------------------------------- #
+# primitive implementations
+# --------------------------------------------------------------------------- #
+def _power(arguments: Sequence[object]) -> float:
+    base, exponent = _require(arguments, 2, "POWER")
+    if base < 0 and not float(exponent).is_integer():
+        raise SQLExecutionError("POWER of a negative base with fractional exponent")
+    try:
+        return math.pow(base, exponent)
+    except OverflowError as error:
+        raise SQLExecutionError("POWER overflow") from error
+
+
+def _abs(arguments: Sequence[object]) -> float:
+    (value,) = _require(arguments, 1, "ABS")
+    return abs(value)
+
+
+def _sqrt(arguments: Sequence[object]) -> float:
+    (value,) = _require(arguments, 1, "SQRT")
+    if value < 0:
+        raise SQLExecutionError("SQRT of a negative value")
+    return math.sqrt(value)
+
+
+def _ln(arguments: Sequence[object]) -> float:
+    (value,) = _require(arguments, 1, "LN")
+    if value <= 0:
+        raise SQLExecutionError("LN of a non-positive value")
+    return math.log(value)
+
+
+def _log10(arguments: Sequence[object]) -> float:
+    (value,) = _require(arguments, 1, "LOG10")
+    if value <= 0:
+        raise SQLExecutionError("LOG10 of a non-positive value")
+    return math.log10(value)
+
+
+def _exp(arguments: Sequence[object]) -> float:
+    (value,) = _require(arguments, 1, "EXP")
+    try:
+        return math.exp(value)
+    except OverflowError as error:
+        raise SQLExecutionError("EXP overflow") from error
+
+
+def _round(arguments: Sequence[object]) -> float:
+    if len(arguments) == 1:
+        (value,) = _require(arguments, 1, "ROUND")
+        return float(round(value))
+    value, digits = _require(arguments, 2, "ROUND")
+    return float(round(value, int(digits)))
+
+
+def _sum(arguments: Sequence[object]) -> float:
+    return float(sum(_flatten(arguments)))
+
+
+def _avg(arguments: Sequence[object]) -> float:
+    values = _flatten(arguments)
+    if not values:
+        raise SQLExecutionError("AVG of an empty set")
+    return float(sum(values) / len(values))
+
+
+def _min(arguments: Sequence[object]) -> float:
+    values = _flatten(arguments)
+    if not values:
+        raise SQLExecutionError("MIN of an empty set")
+    return float(min(values))
+
+
+def _max(arguments: Sequence[object]) -> float:
+    values = _flatten(arguments)
+    if not values:
+        raise SQLExecutionError("MAX of an empty set")
+    return float(max(values))
+
+
+def _count(arguments: Sequence[object]) -> float:
+    return float(len(_flatten(arguments)))
+
+
+def _ratio(arguments: Sequence[object]) -> float:
+    numerator, denominator = _require(arguments, 2, "RATIO")
+    if denominator == 0:
+        raise SQLExecutionError("RATIO division by zero")
+    return numerator / denominator
+
+
+def _share(arguments: Sequence[object]) -> float:
+    """SHARE(part, whole) — the fraction that ``part`` represents of ``whole``."""
+    part, whole = _require(arguments, 2, "SHARE")
+    if whole == 0:
+        raise SQLExecutionError("SHARE of a zero total")
+    return part / whole
+
+
+def _diff(arguments: Sequence[object]) -> float:
+    left, right = _require(arguments, 2, "DIFF")
+    return left - right
+
+
+def _pct_change(arguments: Sequence[object]) -> float:
+    """PCT_CHANGE(new, old) — relative change from ``old`` to ``new``."""
+    new, old = _require(arguments, 2, "PCT_CHANGE")
+    if old == 0:
+        raise SQLExecutionError("PCT_CHANGE from a zero base")
+    return (new - old) / old
+
+
+def _cagr(arguments: Sequence[object]) -> float:
+    """CAGR(end, start, years) — compound annual growth rate.
+
+    Matches the paper's running example
+    ``POWER(a.2017 / b.2016, 1 / (2017 - 2016)) - 1``.
+    """
+    end, start, years = _require(arguments, 3, "CAGR")
+    if start == 0:
+        raise SQLExecutionError("CAGR from a zero starting value")
+    if years == 0:
+        raise SQLExecutionError("CAGR over a zero-length period")
+    ratio = end / start
+    if ratio < 0:
+        raise SQLExecutionError("CAGR of a sign-changing series")
+    return math.pow(ratio, 1.0 / years) - 1.0
+
+
+def _fold(arguments: Sequence[object]) -> float:
+    """FOLD(end, start) — the multiplicative factor ("nine-fold" in Example 2)."""
+    end, start = _require(arguments, 2, "FOLD")
+    if start == 0:
+        raise SQLExecutionError("FOLD from a zero starting value")
+    return end / start
+
+
+def _greatest(arguments: Sequence[object]) -> float:
+    return _max(arguments)
+
+
+def _least(arguments: Sequence[object]) -> float:
+    return _min(arguments)
+
+
+class FunctionLibrary:
+    """A registry of :class:`SQLFunction`, case-insensitive by name."""
+
+    def __init__(self, functions: Iterable[SQLFunction] = ()) -> None:
+        self._functions: dict[str, SQLFunction] = {}
+        for function in functions:
+            self.register(function)
+
+    def register(self, function: SQLFunction) -> None:
+        self._functions[function.name.upper()] = function
+
+    def get(self, name: str) -> SQLFunction:
+        try:
+            return self._functions[name.upper()]
+        except KeyError:
+            raise UnknownFunctionError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.upper() in self._functions
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def call(self, name: str, arguments: Sequence[object]) -> float:
+        return self.get(name)(arguments)
+
+    def copy(self) -> "FunctionLibrary":
+        return FunctionLibrary(self._functions.values())
+
+
+def _default_functions() -> list[SQLFunction]:
+    return [
+        SQLFunction("POWER", _power, 2, description="base raised to an exponent"),
+        SQLFunction("ABS", _abs, 1, description="absolute value"),
+        SQLFunction("SQRT", _sqrt, 1, description="square root"),
+        SQLFunction("LN", _ln, 1, description="natural logarithm"),
+        SQLFunction("LOG10", _log10, 1, description="base-10 logarithm"),
+        SQLFunction("EXP", _exp, 1, description="exponential"),
+        SQLFunction("ROUND", _round, None, description="round to n digits"),
+        SQLFunction("SUM", _sum, None, aggregate=True, description="sum of values"),
+        SQLFunction("AVG", _avg, None, aggregate=True, description="mean of values"),
+        SQLFunction("MIN", _min, None, aggregate=True, description="minimum"),
+        SQLFunction("MAX", _max, None, aggregate=True, description="maximum"),
+        SQLFunction("COUNT", _count, None, aggregate=True, description="count of values"),
+        SQLFunction("GREATEST", _greatest, None, description="largest argument"),
+        SQLFunction("LEAST", _least, None, description="smallest argument"),
+        SQLFunction("RATIO", _ratio, 2, description="numerator / denominator"),
+        SQLFunction("SHARE", _share, 2, description="part / whole"),
+        SQLFunction("DIFF", _diff, 2, description="left - right"),
+        SQLFunction("PCT_CHANGE", _pct_change, 2, description="(new - old) / old"),
+        SQLFunction("CAGR", _cagr, 3, description="compound annual growth rate"),
+        SQLFunction("FOLD", _fold, 2, description="end / start multiplicative factor"),
+    ]
+
+
+#: The default library ``F`` shared across the system.
+FUNCTION_LIBRARY = FunctionLibrary(_default_functions())

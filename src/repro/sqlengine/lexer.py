@@ -1,0 +1,172 @@
+"""Tokenizer for the statistical-check SQL fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SQLSyntaxError
+
+
+class TokenType(Enum):
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    COMPARISON = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+    DOT = auto()
+    END = auto()
+
+
+KEYWORDS = frozenset({"SELECT", "FROM", "WHERE", "AND", "OR", "AS"})
+_COMPARISON_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_ARITHMETIC_OPERATORS = ("+", "-", "*", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its position in the source text."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == keyword.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text, raising :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        character = text[index]
+        if character.isspace():
+            index += 1
+            continue
+        if character == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", index))
+            index += 1
+            continue
+        if character == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", index))
+            index += 1
+            continue
+        if character == ",":
+            tokens.append(Token(TokenType.COMMA, ",", index))
+            index += 1
+            continue
+        if character == "'":
+            token, index = _read_string(text, index)
+            tokens.append(token)
+            continue
+        if character == '"':
+            token, index = _read_quoted_identifier(text, index)
+            tokens.append(token)
+            continue
+        comparison = _match_comparison(text, index)
+        if comparison is not None:
+            tokens.append(Token(TokenType.COMPARISON, comparison, index))
+            index += len(comparison)
+            continue
+        if character in _ARITHMETIC_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, character, index))
+            index += 1
+            continue
+        if character.isdigit():
+            token, index = _read_number(text, index)
+            tokens.append(token)
+            continue
+        if character == ".":
+            # a dot is either part of a number (handled above when preceded
+            # by a digit) or the qualifier separator in ``alias.attribute``
+            tokens.append(Token(TokenType.DOT, ".", index))
+            index += 1
+            continue
+        if character.isalpha() or character == "_":
+            token, index = _read_word(text, index)
+            tokens.append(token)
+            continue
+        raise SQLSyntaxError(f"unexpected character {character!r}", position=index)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _match_comparison(text: str, index: int) -> str | None:
+    for operator in _COMPARISON_OPERATORS:
+        if text.startswith(operator, index):
+            return operator
+    return None
+
+
+def _read_string(text: str, index: int) -> tuple[Token, int]:
+    start = index
+    index += 1
+    pieces: list[str] = []
+    while index < len(text):
+        character = text[index]
+        if character == "'":
+            if text.startswith("''", index):
+                pieces.append("'")
+                index += 2
+                continue
+            return Token(TokenType.STRING, "".join(pieces), start), index + 1
+        pieces.append(character)
+        index += 1
+    raise SQLSyntaxError("unterminated string literal", position=start)
+
+
+def _read_quoted_identifier(text: str, index: int) -> tuple[Token, int]:
+    start = index
+    index += 1
+    pieces: list[str] = []
+    while index < len(text):
+        character = text[index]
+        if character == '"':
+            return Token(TokenType.IDENTIFIER, "".join(pieces), start), index + 1
+        pieces.append(character)
+        index += 1
+    raise SQLSyntaxError("unterminated quoted identifier", position=start)
+
+
+def _read_number(text: str, index: int) -> tuple[Token, int]:
+    start = index
+    seen_dot = False
+    seen_exponent = False
+    while index < len(text):
+        character = text[index]
+        if character.isdigit():
+            index += 1
+            continue
+        if character == "." and not seen_dot and not seen_exponent:
+            seen_dot = True
+            index += 1
+            continue
+        if character in "eE" and not seen_exponent and index > start:
+            lookahead = index + 1
+            if lookahead < len(text) and (text[lookahead].isdigit() or text[lookahead] in "+-"):
+                seen_exponent = True
+                index += 2
+                continue
+        break
+    literal = text[start:index]
+    # A trailing dot ("2017." in "a.2017.") belongs to the next token.
+    if literal.endswith("."):
+        literal = literal[:-1]
+        index -= 1
+    return Token(TokenType.NUMBER, literal, start), index
+
+
+def _read_word(text: str, index: int) -> tuple[Token, int]:
+    start = index
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    word = text[start:index]
+    if word.upper() in KEYWORDS:
+        return Token(TokenType.KEYWORD, word.upper(), start), index
+    return Token(TokenType.IDENTIFIER, word, start), index

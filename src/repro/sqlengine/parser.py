@@ -1,0 +1,253 @@
+"""Recursive-descent parser for the statistical-check SQL fragment.
+
+Grammar (informal):
+
+.. code-block:: text
+
+    query       := SELECT expression FROM from_list [WHERE where_clause]
+    from_list   := relation alias {"," relation alias}
+    where_clause:= disjunction {AND disjunction}
+    disjunction := predicate | "(" predicate {OR predicate} ")"
+    predicate   := qualified "=" string
+    expression  := term {("+" | "-") term}
+    term        := unary {("*" | "/") unary}
+    unary       := ["-" | "+"] primary
+    primary     := number | string | function "(" args ")" | qualified
+                 | "(" expression ")"
+    qualified   := identifier "." (identifier | number)
+
+Comparisons (``expression op expression``) are accepted at the top level of
+the SELECT expression because general-claim checks sometimes select a
+boolean (Example 9 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine.ast import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FromItem,
+    FunctionCall,
+    KeyDisjunction,
+    KeyPredicate,
+    NumberLiteral,
+    Query,
+    StringLiteral,
+    UnaryOp,
+)
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPERATORS = {"<", ">", "<=", ">=", "=", "<>", "!="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self._current
+        if token.type is not token_type or (value is not None and token.value != value):
+            expected = value if value is not None else token_type.name
+            raise SQLSyntaxError(
+                f"expected {expected}, found {token.value!r}", position=token.position
+            )
+        return self._advance()
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self._current.matches_keyword(keyword):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # grammar
+    # ------------------------------------------------------------------ #
+    def parse_query(self) -> Query:
+        if not self._accept_keyword("SELECT"):
+            raise SQLSyntaxError("query must start with SELECT", position=self._current.position)
+        select = self.parse_comparison_expression()
+        if not self._accept_keyword("FROM"):
+            raise SQLSyntaxError("missing FROM clause", position=self._current.position)
+        from_items = self._parse_from_list()
+        where: tuple[KeyDisjunction, ...] = ()
+        if self._accept_keyword("WHERE"):
+            where = self._parse_where()
+        self._expect(TokenType.END)
+        return Query(select=select, from_items=from_items, where=where)
+
+    def parse_comparison_expression(self) -> Expression:
+        left = self.parse_expression()
+        token = self._current
+        if token.type is TokenType.COMPARISON and token.value in _COMPARISON_OPERATORS:
+            self._advance()
+            right = self.parse_expression()
+            return Comparison(operator=token.value, left=left, right=right)
+        return left
+
+    def parse_expression(self) -> Expression:
+        node = self._parse_term()
+        while self._current.type is TokenType.OPERATOR and self._current.value in "+-":
+            operator = self._advance().value
+            right = self._parse_term()
+            node = BinaryOp(operator=operator, left=node, right=right)
+        return node
+
+    def _parse_term(self) -> Expression:
+        node = self._parse_unary()
+        while self._current.type is TokenType.OPERATOR and self._current.value in "*/":
+            operator = self._advance().value
+            right = self._parse_unary()
+            node = BinaryOp(operator=operator, left=node, right=right)
+        return node
+
+    def _parse_unary(self) -> Expression:
+        if self._current.type is TokenType.OPERATOR and self._current.value in "+-":
+            operator = self._advance().value
+            operand = self._parse_unary()
+            return UnaryOp(operator=operator, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return NumberLiteral(value=float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return StringLiteral(value=token.value)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self.parse_comparison_expression()
+            self._expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        raise SQLSyntaxError(f"unexpected token {token.value!r}", position=token.position)
+
+    def _parse_identifier_expression(self) -> Expression:
+        name = self._advance().value
+        if self._current.type is TokenType.LPAREN:
+            self._advance()
+            arguments: list[Expression] = []
+            if self._current.type is not TokenType.RPAREN:
+                arguments.append(self.parse_comparison_expression())
+                while self._current.type is TokenType.COMMA:
+                    self._advance()
+                    arguments.append(self.parse_comparison_expression())
+            self._expect(TokenType.RPAREN)
+            return FunctionCall(name=name.upper(), arguments=tuple(arguments))
+        if self._current.type is TokenType.DOT:
+            self._advance()
+            attribute_token = self._current
+            if attribute_token.type in (TokenType.IDENTIFIER, TokenType.NUMBER):
+                self._advance()
+                return ColumnRef(alias=name, attribute=attribute_token.value)
+            raise SQLSyntaxError(
+                "expected attribute name after '.'", position=attribute_token.position
+            )
+        # A bare identifier is treated as a column on the only alias later;
+        # in the narrow fragment we reject it to keep queries unambiguous.
+        raise SQLSyntaxError(
+            f"bare identifier {name!r}: column references must be qualified",
+            position=self._current.position,
+        )
+
+    def _parse_from_list(self) -> tuple[FromItem, ...]:
+        items: list[FromItem] = []
+        while True:
+            relation = self._expect(TokenType.IDENTIFIER).value
+            self._accept_keyword("AS")
+            alias_token = self._current
+            if alias_token.type is TokenType.IDENTIFIER:
+                self._advance()
+                alias = alias_token.value
+            else:
+                alias = relation
+            items.append(FromItem(relation=relation, alias=alias))
+            if self._current.type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        aliases = [item.alias for item in items]
+        if len(set(aliases)) != len(aliases):
+            raise SQLSyntaxError("duplicate alias in FROM clause")
+        return tuple(items)
+
+    def _parse_where(self) -> tuple[KeyDisjunction, ...]:
+        clauses = [self._parse_disjunction()]
+        while True:
+            if self._accept_keyword("AND"):
+                clauses.append(self._parse_disjunction())
+                continue
+            if self._current.type is TokenType.COMMA:
+                # The paper renders conjunctions with commas
+                # ("WHERE a.Index = 'x', b.Index = 'y'"); accept that too.
+                self._advance()
+                clauses.append(self._parse_disjunction())
+                continue
+            break
+        return tuple(clauses)
+
+    def _parse_disjunction(self) -> KeyDisjunction:
+        if self._current.type is TokenType.LPAREN:
+            self._advance()
+            predicates = [self._parse_predicate()]
+            while self._accept_keyword("OR"):
+                predicates.append(self._parse_predicate())
+            self._expect(TokenType.RPAREN)
+            return KeyDisjunction(predicates=tuple(predicates))
+        return KeyDisjunction(predicates=(self._parse_predicate(),))
+
+    def _parse_predicate(self) -> KeyPredicate:
+        alias = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.DOT)
+        attribute_token = self._current
+        if attribute_token.type not in (TokenType.IDENTIFIER, TokenType.NUMBER):
+            raise SQLSyntaxError(
+                "expected attribute after '.' in WHERE predicate",
+                position=attribute_token.position,
+            )
+        self._advance()
+        self._expect(TokenType.COMPARISON, "=")
+        value_token = self._current
+        if value_token.type is TokenType.STRING:
+            self._advance()
+            value = value_token.value
+        elif value_token.type in (TokenType.IDENTIFIER, TokenType.NUMBER):
+            self._advance()
+            value = value_token.value
+        else:
+            raise SQLSyntaxError(
+                "expected a value on the right of a key predicate",
+                position=value_token.position,
+            )
+        return KeyPredicate(alias=alias, attribute=attribute_token.value, value=value)
+
+
+def parse_query(sql: str) -> Query:
+    """Parse a full statistical-check query."""
+    return _Parser(tokenize(sql)).parse_query()
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone SELECT-style expression (used for formulas)."""
+    parser = _Parser(tokenize(text))
+    expression = parser.parse_comparison_expression()
+    parser._expect(TokenType.END)
+    return expression

@@ -1,0 +1,212 @@
+"""Generation of IEA-style energy tables.
+
+The tables mimic the shape shown in Figure 1 of the paper: wide relations
+keyed by an ``Index`` column whose rows are energy indicators (electricity
+demand, coal supply, wind capacity additions, …) and whose attributes are
+years (history plus projections).  Values follow smooth exponential growth
+paths with noise so that growth rates, shares and fold changes computed from
+them are plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.database import Database
+from repro.dataset.relation import Relation
+from repro.errors import ConfigurationError
+
+#: Regions used to scope relations and key values.
+REGIONS = (
+    "Global",
+    "China",
+    "India",
+    "UnitedStates",
+    "Europe",
+    "Africa",
+    "LatinAmerica",
+    "MiddleEast",
+    "SoutheastAsia",
+    "Japan",
+)
+
+#: Energy carriers / technologies used to build indicator names.
+CARRIERS = (
+    "Elec",
+    "Coal",
+    "Gas",
+    "Oil",
+    "Wind",
+    "SolarPV",
+    "Nuclear",
+    "Hydro",
+    "Bioenergy",
+    "Geothermal",
+)
+
+#: Measures attached to a carrier to form an indicator.
+MEASURES = (
+    "Demand",
+    "Supply",
+    "Generation",
+    "CapAddTotal",
+    "Emissions",
+    "Investment",
+    "Imports",
+    "Exports",
+)
+
+#: Human-readable phrases used when writing claims about an indicator.
+CARRIER_PHRASES = {
+    "Elec": "electricity",
+    "Coal": "coal",
+    "Gas": "natural gas",
+    "Oil": "oil",
+    "Wind": "wind power",
+    "SolarPV": "solar PV",
+    "Nuclear": "nuclear power",
+    "Hydro": "hydropower",
+    "Bioenergy": "bioenergy",
+    "Geothermal": "geothermal energy",
+}
+
+MEASURE_PHRASES = {
+    "Demand": "demand",
+    "Supply": "supply",
+    "Generation": "generation",
+    "CapAddTotal": "capacity additions",
+    "Emissions": "emissions",
+    "Investment": "investment",
+    "Imports": "imports",
+    "Exports": "exports",
+}
+
+REGION_PHRASES = {
+    "Global": "global",
+    "China": "Chinese",
+    "India": "Indian",
+    "UnitedStates": "American",
+    "Europe": "European",
+    "Africa": "African",
+    "LatinAmerica": "Latin American",
+    "MiddleEast": "Middle Eastern",
+    "SoutheastAsia": "Southeast Asian",
+    "Japan": "Japanese",
+}
+
+
+@dataclass(frozen=True)
+class EnergyDataConfig:
+    """Size and shape of the generated table corpus."""
+
+    relation_count: int = 30
+    rows_per_relation: int = 22
+    year_start: int = 2000
+    year_end: int = 2040
+    #: Base magnitude of the generated series (arbitrary energy units).
+    base_value: float = 1000.0
+    #: Standard deviation of the multiplicative year-to-year noise.
+    noise: float = 0.01
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.relation_count < 1:
+            raise ConfigurationError("relation_count must be at least 1")
+        if self.rows_per_relation < 1:
+            raise ConfigurationError("rows_per_relation must be at least 1")
+        if self.year_end <= self.year_start:
+            raise ConfigurationError("year_end must be after year_start")
+        if self.base_value <= 0:
+            raise ConfigurationError("base_value must be positive")
+        if self.noise < 0:
+            raise ConfigurationError("noise must be non-negative")
+
+    @property
+    def years(self) -> tuple[str, ...]:
+        return tuple(str(year) for year in range(self.year_start, self.year_end + 1))
+
+
+@dataclass(frozen=True)
+class IndicatorKey:
+    """A generated indicator: its key string and descriptive phrase."""
+
+    key: str
+    region: str
+    carrier: str
+    measure: str
+
+    @property
+    def phrase(self) -> str:
+        """Natural-language rendering used inside claim sentences."""
+        return (
+            f"{REGION_PHRASES[self.region]} {CARRIER_PHRASES[self.carrier]} "
+            f"{MEASURE_PHRASES[self.measure]}"
+        )
+
+
+def indicator_key(region: str, carrier: str, measure: str) -> IndicatorKey:
+    """Build the key string for one indicator (e.g. ``Global_Elec_Demand``)."""
+    return IndicatorKey(
+        key=f"{region}_{carrier}_{measure}",
+        region=region,
+        carrier=carrier,
+        measure=measure,
+    )
+
+
+def _relation_name(index: int, region: str, measure: str) -> str:
+    return f"T{index:03d}_{region}_{measure}"
+
+
+def build_database(
+    config: EnergyDataConfig | None = None,
+) -> tuple[Database, dict[str, IndicatorKey]]:
+    """Generate the synthetic table corpus.
+
+    Returns the database and a mapping from key string to its
+    :class:`IndicatorKey` metadata (used by the report generator to phrase
+    claims about the data).
+    """
+    config = config if config is not None else EnergyDataConfig()
+    rng = np.random.default_rng(config.seed)
+    years = config.years
+    database = Database(name="synthetic-weo")
+    indicators: dict[str, IndicatorKey] = {}
+    for relation_index in range(config.relation_count):
+        region = REGIONS[relation_index % len(REGIONS)]
+        measure = MEASURES[(relation_index // len(REGIONS)) % len(MEASURES)]
+        name = _relation_name(relation_index, region, measure)
+        relation = Relation(
+            name=name,
+            key_attribute="Index",
+            attributes=[*years, "Total"],
+            description=f"{REGION_PHRASES[region]} {MEASURE_PHRASES[measure]} outlook",
+        )
+        for row_index in range(config.rows_per_relation):
+            carrier = CARRIERS[row_index % len(CARRIERS)]
+            variant_measure = MEASURES[(row_index // len(CARRIERS)) % len(MEASURES)]
+            indicator = indicator_key(region, carrier, variant_measure)
+            if relation.has_key(indicator.key):
+                continue
+            series = _growth_series(rng, config, len(years))
+            row: dict[str, object] = {"Index": indicator.key}
+            for year, value in zip(years, series):
+                row[year] = round(float(value), 2)
+            row["Total"] = round(float(np.sum(series)), 2)
+            relation.insert(row)
+            indicators.setdefault(indicator.key, indicator)
+        database.add(relation)
+    return database, indicators
+
+
+def _growth_series(
+    rng: np.random.Generator, config: EnergyDataConfig, length: int
+) -> np.ndarray:
+    """One smooth exponential series with mild multiplicative noise."""
+    base = config.base_value * float(rng.uniform(0.5, 20.0))
+    growth = float(rng.uniform(-0.02, 0.08))
+    noise = rng.normal(loc=0.0, scale=config.noise, size=length)
+    steps = np.cumprod(1.0 + growth + noise)
+    return base * steps / steps[0]

@@ -1,0 +1,501 @@
+"""Synthetic report and annotated-claim generation.
+
+``generate_corpus`` produces a :class:`~repro.claims.corpus.ClaimCorpus`
+that substitutes for the IEA World Energy Outlook: a database of energy
+tables, a sectioned document whose sentences carry statistical claims, the
+ground-truth translation of every claim (formula, bindings, SQL, expected
+value) and per-claim annotations from three simulated checkers.
+
+The generator is deterministic given its seed.  Property frequencies are
+drawn from Zipf-like distributions so the corpus reproduces the skew of
+Table 1 of the paper, and a configurable fraction of explicit claims gets a
+wrong stated value (the paper reports that up to 40% of claims are updated
+during the first pass, and injects 25% errors in its user study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.claims.annotations import CheckerAnnotation
+from repro.claims.corpus import AnnotatedClaim, ClaimCorpus
+from repro.claims.document import Document, Section, Sentence
+from repro.claims.model import Claim, ClaimGroundTruth, ComparisonOp
+from repro.dataset.database import Database
+from repro.dataset.types import is_numeric
+from repro.errors import ConfigurationError, FormulaError, FormulaBindingError
+from repro.formulas.extraction import (
+    CheckStep,
+    FormulaExtractor,
+    GeneralizedCheck,
+    const,
+    lookup,
+    op,
+)
+from repro.formulas.instantiate import FormulaInstantiator
+from repro.synth.energy_data import EnergyDataConfig, IndicatorKey, build_database
+from repro.synth.profiles import zipf_weights
+
+#: Claim archetypes, ordered from most to least frequent (Zipf sampling).
+_ARCHETYPES = (
+    "lookup",
+    "growth_rate",
+    "cagr",
+    "share",
+    "fold_change",
+    "difference",
+    "positive_growth",
+    "sum2",
+    "threshold_exceeds",
+    "average2",
+    "negative_growth",
+    "share_of_growth",
+)
+
+#: Archetypes whose natural phrasing states a number (explicit claims).
+_EXPLICIT_ARCHETYPES = frozenset(
+    {"lookup", "growth_rate", "cagr", "share", "fold_change", "difference", "sum2", "average2"}
+)
+
+_GENERAL_CUES = {
+    "positive_growth": ("expanded", "increased markedly", "rose"),
+    "negative_growth": ("contracted", "declined", "fell back"),
+    "threshold_exceeds": ("surpassed", "overtook", "exceeded"),
+    "share_of_growth": ("drove most of the increase in", "accounted for the bulk of growth in"),
+}
+
+_FILLER_SENTENCES = (
+    "Policy settings continue to shape the outlook across regions.",
+    "Investment decisions taken today will determine the pace of the transition.",
+    "Efficiency improvements moderate the growth of final consumption.",
+    "The stated policies scenario reflects announced targets and measures.",
+    "Infrastructure constraints remain a key uncertainty for the projection period.",
+)
+
+
+@dataclass(frozen=True)
+class SyntheticCorpusConfig:
+    """Size and composition of the synthetic corpus."""
+
+    claim_count: int = 240
+    section_count: int = 16
+    explicit_fraction: float = 0.5
+    error_fraction: float = 0.2
+    data: EnergyDataConfig = field(default_factory=EnergyDataConfig)
+    #: Zipf exponents controlling how skewed property usage is.
+    relation_zipf: float = 1.1
+    key_zipf: float = 1.05
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.claim_count < 1:
+            raise ConfigurationError("claim_count must be at least 1")
+        if self.section_count < 1:
+            raise ConfigurationError("section_count must be at least 1")
+        if not 0.0 <= self.explicit_fraction <= 1.0:
+            raise ConfigurationError("explicit_fraction must be in [0, 1]")
+        if not 0.0 <= self.error_fraction < 1.0:
+            raise ConfigurationError("error_fraction must be in [0, 1)")
+
+
+def generate_corpus(config: SyntheticCorpusConfig | None = None) -> ClaimCorpus:
+    """Generate the synthetic annotated corpus."""
+    config = config if config is not None else SyntheticCorpusConfig()
+    rng = np.random.default_rng(config.seed)
+    database, indicators = build_database(config.data)
+    generator = _ClaimGenerator(config, database, indicators, rng)
+    annotated_claims = generator.generate_claims()
+    document = generator.build_document(annotated_claims)
+    return ClaimCorpus(
+        document=document,
+        database=database,
+        annotated_claims=annotated_claims,
+        name="synthetic-weo-report",
+    )
+
+
+class _ClaimGenerator:
+    """Internal helper doing the heavy lifting of corpus generation."""
+
+    def __init__(
+        self,
+        config: SyntheticCorpusConfig,
+        database: Database,
+        indicators: dict[str, IndicatorKey],
+        rng: np.random.Generator,
+    ) -> None:
+        self._config = config
+        self._database = database
+        self._indicators = indicators
+        self._rng = rng
+        self._extractor = FormulaExtractor()
+        self._instantiator = FormulaInstantiator(database)
+        self._relation_names = list(database.relation_names)
+        self._relation_weights = zipf_weights(len(self._relation_names), config.relation_zipf)
+        self._archetype_weights = zipf_weights(len(_ARCHETYPES), 1.0)
+        years = list(config.data.years)
+        #: Recent years are referenced far more often than distant ones.
+        self._year_pool = years[-8:] + [years[0], years[len(years) // 2], years[-1]]
+
+    # ------------------------------------------------------------------ #
+    # claims
+    # ------------------------------------------------------------------ #
+    def generate_claims(self) -> list[AnnotatedClaim]:
+        claims: list[AnnotatedClaim] = []
+        attempts = 0
+        max_attempts = self._config.claim_count * 20
+        while len(claims) < self._config.claim_count and attempts < max_attempts:
+            attempts += 1
+            annotated = self._generate_one(len(claims))
+            if annotated is not None:
+                claims.append(annotated)
+        if len(claims) < self._config.claim_count:
+            raise ConfigurationError(
+                "could not generate the requested number of claims; "
+                "the data configuration is too small"
+            )
+        return claims
+
+    def _generate_one(self, index: int) -> AnnotatedClaim | None:
+        archetype = self._sample_archetype()
+        relation_name = self._sample_relation()
+        relation = self._database.relation(relation_name)
+        keys = self._sample_keys(relation_name, count=2)
+        if not keys:
+            return None
+        years = self._sample_years()
+        trace = self._build_trace(archetype, relation_name, keys, years)
+        if trace is None:
+            return None
+        try:
+            generalized = self._extractor.generalize(trace)
+            expected_value = self._instantiator.evaluate(
+                generalized.formula,
+                generalized.value_assignment,
+                generalized.attribute_assignment,
+            )
+            sql = self._instantiator.to_query(
+                generalized.formula,
+                generalized.value_assignment,
+                generalized.attribute_assignment,
+            ).render()
+        except (FormulaError, FormulaBindingError):
+            return None
+        if not np.isfinite(expected_value):
+            return None
+
+        claim_id = f"c{index + 1:05d}"
+        section_id = self._section_for(index)
+        is_explicit = archetype in _EXPLICIT_ARCHETYPES and (
+            self._rng.random() < self._probability_explicit(archetype)
+        )
+        inject_error = is_explicit and self._rng.random() < self._config.error_fraction
+        stated_value = expected_value
+        if inject_error:
+            stated_value = self._corrupt(expected_value)
+        text = self._phrase_claim(archetype, keys, years, stated_value, is_explicit)
+        sentence_text = f"{text} {self._rng.choice(_FILLER_SENTENCES)}"
+        parameter = self._round_parameter(archetype, stated_value) if is_explicit else None
+        claim = Claim(
+            claim_id=claim_id,
+            text=text,
+            sentence_text=sentence_text,
+            section_id=section_id,
+            is_explicit=is_explicit,
+            parameter=parameter,
+            comparison=self._comparison_for(archetype),
+        )
+        ground_truth = ClaimGroundTruth(
+            claim_id=claim_id,
+            relations=generalized.relations,
+            keys=generalized.keys,
+            attributes=generalized.attributes,
+            formula_label=generalized.label,
+            value_assignment=generalized.value_assignment,
+            attribute_assignment=generalized.attribute_assignment,
+            expected_value=expected_value,
+            is_correct=not inject_error,
+            correct_value=expected_value if inject_error else None,
+            sql=sql,
+        )
+        annotations = tuple(
+            CheckerAnnotation(
+                claim_id=claim_id,
+                checker_id=f"expert{checker + 1}",
+                trace=trace,
+                verdict=not inject_error,
+                complete=is_explicit or checker == 0,
+            )
+            for checker in range(3)
+        )
+        return AnnotatedClaim(claim=claim, ground_truth=ground_truth, annotations=annotations)
+
+    # ------------------------------------------------------------------ #
+    # sampling helpers
+    # ------------------------------------------------------------------ #
+    def _sample_archetype(self) -> str:
+        index = int(self._rng.choice(len(_ARCHETYPES), p=self._archetype_weights))
+        return _ARCHETYPES[index]
+
+    def _sample_relation(self) -> str:
+        index = int(self._rng.choice(len(self._relation_names), p=self._relation_weights))
+        return self._relation_names[index]
+
+    def _sample_keys(self, relation_name: str, count: int) -> list[str]:
+        relation = self._database.relation(relation_name)
+        keys = list(relation.keys)
+        if not keys:
+            return []
+        weights = zipf_weights(len(keys), self._config.key_zipf)
+        chosen: list[str] = []
+        for _ in range(count):
+            index = int(self._rng.choice(len(keys), p=weights))
+            if keys[index] not in chosen:
+                chosen.append(keys[index])
+        return chosen
+
+    def _sample_years(self) -> tuple[str, str]:
+        """A (recent, earlier) year pair; recent years dominate."""
+        pool = self._year_pool
+        first = str(self._rng.choice(pool))
+        second = str(self._rng.choice(pool))
+        if first == second:
+            second = str(int(first) - 1)
+            if second not in self._config.data.years:
+                second = self._config.data.years[0]
+        later, earlier = (first, second) if int(first) > int(second) else (second, first)
+        return later, earlier
+
+    def _probability_explicit(self, archetype: str) -> float:
+        """Calibrate the overall explicit share to the configured fraction."""
+        if self._config.explicit_fraction >= 1.0:
+            return 1.0
+        # Roughly two thirds of sampled archetypes support explicit phrasing.
+        return min(1.0, self._config.explicit_fraction / 0.66)
+
+    def _section_for(self, index: int) -> str:
+        claims_per_section = max(1, self._config.claim_count // self._config.section_count)
+        section_index = min(index // claims_per_section, self._config.section_count - 1)
+        return f"sec{section_index + 1:03d}"
+
+    def _corrupt(self, value: float) -> float:
+        """Produce a plausibly wrong stated value (outside the 5% tolerance)."""
+        direction = 1.0 if self._rng.random() < 0.5 else -1.0
+        magnitude = float(self._rng.uniform(0.12, 0.45))
+        corrupted = value * (1.0 + direction * magnitude)
+        if corrupted == value:
+            corrupted = value + direction
+        return corrupted
+
+    # ------------------------------------------------------------------ #
+    # trace construction per archetype
+    # ------------------------------------------------------------------ #
+    def _build_trace(
+        self,
+        archetype: str,
+        relation: str,
+        keys: list[str],
+        years: tuple[str, str],
+    ) -> CheckStep | None:
+        later, earlier = years
+        key = keys[0]
+        other = keys[1] if len(keys) > 1 else keys[0]
+        table = self._database.relation(relation)
+        if not self._has_values(relation, [key, other], [later, earlier]):
+            return None
+        if archetype == "lookup":
+            return lookup(relation, key, later)
+        if archetype == "growth_rate":
+            return op(
+                "-", op("/", lookup(relation, key, later), lookup(relation, key, earlier)), const(1)
+            )
+        if archetype == "cagr":
+            return op(
+                "-",
+                op(
+                    "POWER",
+                    op("/", lookup(relation, key, later), lookup(relation, key, earlier)),
+                    op("/", const(1), op("-", const(float(later)), const(float(earlier)))),
+                ),
+                const(1),
+            )
+        if archetype == "share":
+            if not table.has_attribute("Total"):
+                return None
+            return op("SHARE", lookup(relation, key, later), lookup(relation, key, "Total"))
+        if archetype == "fold_change":
+            return op("/", lookup(relation, key, later), lookup(relation, key, earlier))
+        if archetype == "difference":
+            return op("-", lookup(relation, key, later), lookup(relation, key, earlier))
+        if archetype == "positive_growth":
+            return op(
+                ">", op("-", lookup(relation, key, later), lookup(relation, key, earlier)), const(0)
+            )
+        if archetype == "negative_growth":
+            return op(
+                "<", op("-", lookup(relation, key, later), lookup(relation, key, earlier)), const(0)
+            )
+        if archetype == "sum2":
+            if other == key:
+                return None
+            return op("+", lookup(relation, key, later), lookup(relation, other, later))
+        if archetype == "average2":
+            if other == key:
+                return None
+            return op(
+                "/", op("+", lookup(relation, key, later), lookup(relation, other, later)), const(2)
+            )
+        if archetype == "threshold_exceeds":
+            if other == key:
+                return None
+            return op(">", lookup(relation, key, later), lookup(relation, other, later))
+        if archetype == "share_of_growth":
+            if other == key:
+                return None
+            return op(
+                "/",
+                op("-", lookup(relation, key, later), lookup(relation, key, earlier)),
+                lookup(relation, other, later),
+            )
+        return None
+
+    def _has_values(self, relation: str, keys: list[str], attributes: list[str]) -> bool:
+        table = self._database.relation(relation)
+        for key in keys:
+            if not table.has_key(key):
+                return False
+            for attribute in attributes:
+                if not table.has_attribute(attribute):
+                    return False
+                if not is_numeric(table.value(key, attribute)):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # phrasing
+    # ------------------------------------------------------------------ #
+    def _phrase_claim(
+        self,
+        archetype: str,
+        keys: list[str],
+        years: tuple[str, str],
+        value: float,
+        is_explicit: bool,
+    ) -> str:
+        later, earlier = years
+        phrase = self._indicator_phrase(keys[0])
+        other_phrase = self._indicator_phrase(keys[1]) if len(keys) > 1 else phrase
+        if archetype == "lookup":
+            return f"In {later}, {phrase} reached {self._format_level(value)}."
+        if archetype in ("growth_rate", "cagr"):
+            verb = "grew" if value >= 0 else "declined"
+            if is_explicit:
+                return (
+                    f"Between {earlier} and {later}, {phrase} {verb} by "
+                    f"{self._format_percent(abs(value))}."
+                )
+            return f"Between {earlier} and {later}, {phrase} {verb} steadily."
+        if archetype == "share":
+            if is_explicit:
+                return (
+                    f"In {later}, {phrase} accounted for {self._format_percent(value)} "
+                    "of the cumulative total."
+                )
+            return f"In {later}, {phrase} accounted for a sizeable share of the total."
+        if archetype == "fold_change":
+            if is_explicit:
+                return (
+                    f"The market for {phrase} increased {self._format_fold(value)} "
+                    f"from {earlier} to {later}."
+                )
+            return f"The market for {phrase} expanded strongly from {earlier} to {later}."
+        if archetype == "difference":
+            verb = "rose" if value >= 0 else "fell"
+            if is_explicit:
+                return (
+                    f"{phrase.capitalize()} {verb} by {self._format_level(abs(value))} "
+                    f"between {earlier} and {later}."
+                )
+            return f"{phrase.capitalize()} {verb} between {earlier} and {later}."
+        if archetype == "sum2":
+            if is_explicit:
+                return (
+                    f"Together, {phrase} and {other_phrase} reached "
+                    f"{self._format_level(value)} in {later}."
+                )
+            return f"Together, {phrase} and {other_phrase} reached a new high in {later}."
+        if archetype == "average2":
+            if is_explicit:
+                return (
+                    f"On average, {phrase} and {other_phrase} stood at "
+                    f"{self._format_level(value)} in {later}."
+                )
+            return f"On average, {phrase} and {other_phrase} remained stable in {later}."
+        cue_options = _GENERAL_CUES.get(archetype, ("changed notably",))
+        cue = str(self._rng.choice(cue_options))
+        if archetype == "threshold_exceeds":
+            return f"In {later}, {phrase} {cue} {other_phrase}."
+        if archetype == "share_of_growth":
+            return f"Between {earlier} and {later}, {phrase} {cue} {other_phrase}."
+        return f"Between {earlier} and {later}, {phrase} {cue}."
+
+    def _indicator_phrase(self, key: str) -> str:
+        indicator = self._indicators.get(key)
+        if indicator is not None:
+            return indicator.phrase
+        return key.replace("_", " ").lower()
+
+    @staticmethod
+    def _format_percent(value: float) -> str:
+        return f"{value * 100:.2f}%"
+
+    @staticmethod
+    def _format_level(value: float) -> str:
+        return f"{value:,.1f} TWh".replace(",", " ")
+
+    @staticmethod
+    def _format_fold(value: float) -> str:
+        return f"{value:.1f}-fold"
+
+    def _round_parameter(self, archetype: str, value: float) -> float:
+        """The parameter as a reader would extract it from the printed text."""
+        if archetype in ("growth_rate", "cagr", "share"):
+            return round(value, 4)
+        if archetype == "fold_change":
+            return round(value, 1)
+        return round(value, 1)
+
+    @staticmethod
+    def _comparison_for(archetype: str) -> ComparisonOp:
+        if archetype in ("positive_growth", "threshold_exceeds"):
+            return ComparisonOp.GREATER_THAN
+        if archetype == "negative_growth":
+            return ComparisonOp.LESS_THAN
+        return ComparisonOp.EQUAL
+
+    # ------------------------------------------------------------------ #
+    # document
+    # ------------------------------------------------------------------ #
+    def build_document(self, annotated_claims: list[AnnotatedClaim]) -> Document:
+        sections: dict[str, list[Sentence]] = {}
+        for annotated in annotated_claims:
+            claim = annotated.claim
+            sections.setdefault(claim.section_id, []).append(
+                Sentence(text=claim.sentence_text, claim_ids=(claim.claim_id,))
+            )
+        document = Document(title="Synthetic World Energy Outlook", sections=[])
+        for section_id in sorted(sections):
+            sentences = list(sections[section_id])
+            filler = Sentence(text=str(self._rng.choice(_FILLER_SENTENCES)))
+            sentences.append(filler)
+            document.add_section(
+                Section(
+                    section_id=section_id,
+                    title=f"Chapter {section_id[-3:]}",
+                    sentences=tuple(sentences),
+                    read_cost=30.0,
+                )
+            )
+        return document

@@ -1,0 +1,32 @@
+"""Text-processing substrate used by the claim-to-query translation pipeline.
+
+The pipeline of Figure 4 of the paper concatenates (i) an averaged word
+embedding of the sentence, (ii) TF-IDF scores of unigrams and bigrams of the
+claim and (iii) TF-IDF scores of character 3-grams.  The paper uses GloVe
+pre-trained embeddings; because the reproduction must run offline we
+substitute deterministic hashed random-projection embeddings
+(:mod:`repro.text.embeddings`), which play the same role of a dense
+distributed representation.  Numeric mentions ("3%", "nine-fold",
+"22 200 TWh") are parsed by :mod:`repro.text.numbers` for the syntactical
+extraction of explicit-claim parameters.
+"""
+
+from repro.text.embeddings import HashingWordEmbeddings
+from repro.text.features import ClaimFeaturizer, FeatureVector
+from repro.text.numbers import NumericMention, extract_numeric_mentions, parse_quantity
+from repro.text.tfidf import TfidfVectorizer, character_ngrams, word_ngrams
+from repro.text.tokenizer import Tokenizer, sentence_split
+
+__all__ = [
+    "ClaimFeaturizer",
+    "FeatureVector",
+    "HashingWordEmbeddings",
+    "NumericMention",
+    "TfidfVectorizer",
+    "Tokenizer",
+    "character_ngrams",
+    "extract_numeric_mentions",
+    "parse_quantity",
+    "sentence_split",
+    "word_ngrams",
+]

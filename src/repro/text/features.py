@@ -1,0 +1,154 @@
+"""The claim featurizer of Figure 4.
+
+"For each claim in a sentence, we concatenate the sentence embedding with
+the TF-IDF scores of the unigrams and bigrams in the claim, followed by the
+TF-IDF scores of every 3 characters."  The resulting multi-dimensional
+vector is fed to the four property classifiers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.text.embeddings import HashingWordEmbeddings
+from repro.text.tfidf import TfidfVectorizer, character_ngrams, word_ngrams
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """A featurised claim, keeping the three segments inspectable."""
+
+    sentence_embedding: np.ndarray
+    word_tfidf: np.ndarray
+    char_tfidf: np.ndarray
+
+    @property
+    def dense(self) -> np.ndarray:
+        """The concatenated vector handed to the classifiers."""
+        return np.concatenate([self.sentence_embedding, self.word_tfidf, self.char_tfidf])
+
+    @property
+    def dimension(self) -> int:
+        return (
+            self.sentence_embedding.shape[0]
+            + self.word_tfidf.shape[0]
+            + self.char_tfidf.shape[0]
+        )
+
+
+@dataclass(frozen=True)
+class FeaturizerConfig:
+    """Knobs of the feature pipeline."""
+
+    embedding_dimension: int = 64
+    word_max_features: int = 2000
+    char_max_features: int = 2000
+    char_ngram_order: int = 3
+    min_df: int = 1
+    seed: int = 13
+
+
+class ClaimFeaturizer:
+    """Fits the Figure 4 pipeline on a corpus and featurises claims.
+
+    The featurizer is fitted once on the texts available at bootstrap time
+    and reused throughout verification; refitting it would change feature
+    indices and invalidate the incremental classifiers.
+    """
+
+    def __init__(self, config: FeaturizerConfig | None = None) -> None:
+        self.config = config if config is not None else FeaturizerConfig()
+        self._tokenizer = Tokenizer(lowercase=True, remove_stopwords=False)
+        self._embeddings = HashingWordEmbeddings(
+            dimension=self.config.embedding_dimension, seed=self.config.seed
+        )
+        self._word_tfidf = TfidfVectorizer(
+            analyzer=self._word_analyzer,
+            max_features=self.config.word_max_features,
+            min_df=self.config.min_df,
+        )
+        self._char_tfidf = TfidfVectorizer(
+            analyzer=self._char_analyzer,
+            max_features=self.config.char_max_features,
+            min_df=self.config.min_df,
+        )
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # analyzers
+    # ------------------------------------------------------------------ #
+    def _word_analyzer(self, text: str) -> list[str]:
+        return word_ngrams(self._tokenizer(text), orders=(1, 2))
+
+    def _char_analyzer(self, text: str) -> list[str]:
+        return character_ngrams(text, order=self.config.char_ngram_order)
+
+    # ------------------------------------------------------------------ #
+    # fitting / transforming
+    # ------------------------------------------------------------------ #
+    def fit(self, claim_texts: Sequence[str], sentence_texts: Sequence[str] | None = None) -> "ClaimFeaturizer":
+        """Fit the TF-IDF vocabularies and the embedding smoothing.
+
+        ``claim_texts`` are the claim word sequences, ``sentence_texts`` the
+        surrounding sentences (defaults to the claim texts themselves when a
+        corpus of full sentences is not available).
+        """
+        if not claim_texts:
+            raise ValueError("cannot fit the featurizer on an empty corpus")
+        sentences = list(sentence_texts) if sentence_texts is not None else list(claim_texts)
+        self._embeddings.fit(self._tokenizer.tokenize_many(sentences))
+        self._word_tfidf.fit(claim_texts)
+        self._char_tfidf.fit(claim_texts)
+        self._fitted = True
+        return self
+
+    def transform(self, claim_text: str, sentence_text: str | None = None) -> FeatureVector:
+        """Featurise one claim in its sentence context."""
+        if not self._fitted:
+            raise NotFittedError("ClaimFeaturizer.transform called before fit")
+        sentence = sentence_text if sentence_text is not None else claim_text
+        sentence_embedding = self._embeddings.embed_tokens(self._tokenizer(sentence))
+        return FeatureVector(
+            sentence_embedding=sentence_embedding,
+            word_tfidf=self._word_tfidf.transform_one(claim_text),
+            char_tfidf=self._char_tfidf.transform_one(claim_text),
+        )
+
+    def transform_dense(self, claim_text: str, sentence_text: str | None = None) -> np.ndarray:
+        return self.transform(claim_text, sentence_text).dense
+
+    def transform_matrix(
+        self,
+        claim_texts: Sequence[str],
+        sentence_texts: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Featurise a batch of claims into a dense matrix."""
+        if sentence_texts is not None and len(sentence_texts) != len(claim_texts):
+            raise ValueError("claim_texts and sentence_texts must have the same length")
+        rows = []
+        for index, claim_text in enumerate(claim_texts):
+            sentence = sentence_texts[index] if sentence_texts is not None else None
+            rows.append(self.transform_dense(claim_text, sentence))
+        if not rows:
+            return np.zeros((0, self.dimension))
+        return np.vstack(rows)
+
+    @property
+    def dimension(self) -> int:
+        """Total feature dimension after fitting."""
+        if not self._fitted:
+            raise NotFittedError("ClaimFeaturizer.dimension requested before fit")
+        return (
+            self.config.embedding_dimension
+            + self._word_tfidf.dimension
+            + self._char_tfidf.dimension
+        )
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted

@@ -1,0 +1,187 @@
+"""Parsing of numeric mentions in claim text.
+
+Explicit claims carry their parameter ``p`` in the text itself — "grew by
+3%", "reaching 22 200 TWh", "increased nine-fold" — and the paper extracts
+it "directly from the sentence with a syntactical parsing" (Section 4.1).
+This module implements that syntactical parsing: percentages, magnitude
+suffixes, spelled-out multiplicative factors ("nine-fold", "doubled") and
+space/comma-grouped numbers are all normalised to plain floats.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_WORD_NUMBERS = {
+    "one": 1.0,
+    "two": 2.0,
+    "three": 3.0,
+    "four": 4.0,
+    "five": 5.0,
+    "six": 6.0,
+    "seven": 7.0,
+    "eight": 8.0,
+    "nine": 9.0,
+    "ten": 10.0,
+    "eleven": 11.0,
+    "twelve": 12.0,
+    "twenty": 20.0,
+    "thirty": 30.0,
+    "forty": 40.0,
+    "fifty": 50.0,
+    "hundred": 100.0,
+    "thousand": 1000.0,
+}
+
+_MAGNITUDE_SUFFIXES = {
+    "thousand": 1e3,
+    "million": 1e6,
+    "billion": 1e9,
+    "trillion": 1e12,
+}
+
+_VERB_FACTORS = {
+    "doubled": 2.0,
+    "tripled": 3.0,
+    "trebled": 3.0,
+    "quadrupled": 4.0,
+    "halved": 0.5,
+}
+
+_NUMBER_PATTERN = re.compile(
+    r"(?P<number>\d{1,3}(?:[ ,  ]\d{3})+(?:\.\d+)?|\d+(?:\.\d+)?)\s*(?P<percent>%)?"
+)
+_FOLD_PATTERN = re.compile(
+    r"(?P<word>[a-z]+|\d+(?:\.\d+)?)[- ]fold", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class NumericMention:
+    """A numeric quantity found in claim text."""
+
+    value: float
+    text: str
+    start: int
+    end: int
+    is_percentage: bool = False
+    is_factor: bool = False
+
+
+def parse_quantity(text: str) -> float | None:
+    """Parse a single quantity string into a float, or ``None``.
+
+    Handles "3%", "22 200", "1,234.5", "nine-fold", "doubled", "4.5 million".
+    Percentages are converted into fractions (``"3%"`` → ``0.03``) and
+    multiplicative expressions into factors (``"nine-fold"`` → ``9.0``).
+    """
+    if text is None:
+        return None
+    candidate = text.strip().lower()
+    if not candidate:
+        return None
+    if candidate in _VERB_FACTORS:
+        return _VERB_FACTORS[candidate]
+    fold = _FOLD_PATTERN.fullmatch(candidate)
+    if fold is not None:
+        return _parse_fold_word(fold.group("word"))
+    mentions = extract_numeric_mentions(candidate)
+    if len(mentions) == 1:
+        return mentions[0].value
+    if candidate in _WORD_NUMBERS:
+        return _WORD_NUMBERS[candidate]
+    return None
+
+
+def extract_numeric_mentions(text: str) -> list[NumericMention]:
+    """Find every numeric mention in ``text`` with its normalised value."""
+    mentions: list[NumericMention] = []
+    if not text:
+        return mentions
+    lowered = text.lower()
+    for match in _FOLD_PATTERN.finditer(text):
+        value = _parse_fold_word(match.group("word"))
+        if value is None:
+            continue
+        mentions.append(
+            NumericMention(
+                value=value,
+                text=match.group(0),
+                start=match.start(),
+                end=match.end(),
+                is_factor=True,
+            )
+        )
+    for verb, factor in _VERB_FACTORS.items():
+        for match in re.finditer(rf"\b{verb}\b", lowered):
+            mentions.append(
+                NumericMention(
+                    value=factor,
+                    text=text[match.start() : match.end()],
+                    start=match.start(),
+                    end=match.end(),
+                    is_factor=True,
+                )
+            )
+    covered = [(mention.start, mention.end) for mention in mentions]
+    for match in _NUMBER_PATTERN.finditer(text):
+        if any(start <= match.start() < end for start, end in covered):
+            continue
+        raw = match.group("number")
+        normalised = re.sub(r"[ ,  ]", "", raw)
+        try:
+            value = float(normalised)
+        except ValueError:
+            continue
+        is_percentage = match.group("percent") is not None
+        tail = lowered[match.end() : match.end() + 12].strip()
+        if not is_percentage and tail.startswith(("percent", "per cent")):
+            is_percentage = True
+        if is_percentage:
+            value /= 100.0
+        else:
+            for suffix, multiplier in _MAGNITUDE_SUFFIXES.items():
+                if tail.startswith(suffix):
+                    value *= multiplier
+                    break
+        mentions.append(
+            NumericMention(
+                value=value,
+                text=match.group(0),
+                start=match.start(),
+                end=match.end(),
+                is_percentage=is_percentage,
+            )
+        )
+    mentions.sort(key=lambda mention: mention.start)
+    return mentions
+
+
+def extract_parameter(text: str) -> float | None:
+    """Best-effort extraction of an explicit claim's parameter ``p``.
+
+    Preference order: a growth percentage, then a multiplicative factor,
+    then the first plain number.  This mirrors the syntactical extraction
+    used by the paper for explicit claims.
+    """
+    mentions = extract_numeric_mentions(text)
+    if not mentions:
+        return None
+    for mention in mentions:
+        if mention.is_percentage:
+            return mention.value
+    for mention in mentions:
+        if mention.is_factor:
+            return mention.value
+    return mentions[0].value
+
+
+def _parse_fold_word(word: str) -> float | None:
+    word = word.lower()
+    if word in _WORD_NUMBERS:
+        return _WORD_NUMBERS[word]
+    try:
+        return float(word)
+    except ValueError:
+        return None

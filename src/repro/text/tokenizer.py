@@ -1,0 +1,56 @@
+"""Tokenisation of report sentences and claims."""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z]+(?:'[A-Za-z]+)?|\d+(?:[.,]\d+)*%?|%")
+_SENTENCE_BOUNDARY = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9])")
+
+#: Words carrying essentially no signal for property prediction.
+STOPWORDS = frozenset(
+    """
+    a an and are as at be been but by for from had has have in into is it its
+    of on or than that the their them these this those to was were while will
+    with
+    """.split()
+)
+
+
+class Tokenizer:
+    """Lower-casing word tokenizer with optional stop-word removal."""
+
+    def __init__(self, lowercase: bool = True, remove_stopwords: bool = False) -> None:
+        self.lowercase = lowercase
+        self.remove_stopwords = remove_stopwords
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split ``text`` into word and number tokens."""
+        if not text:
+            return []
+        tokens = _TOKEN_PATTERN.findall(text)
+        if self.lowercase:
+            tokens = [token.lower() for token in tokens]
+        if self.remove_stopwords:
+            tokens = [token for token in tokens if token not in STOPWORDS]
+        return tokens
+
+    def tokenize_many(self, texts: Iterable[str]) -> list[list[str]]:
+        return [self.tokenize(text) for text in texts]
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)
+
+
+def sentence_split(text: str) -> list[str]:
+    """Split a paragraph into sentences with a light-weight rule-based splitter."""
+    if not text:
+        return []
+    pieces = _SENTENCE_BOUNDARY.split(text.strip())
+    return [piece.strip() for piece in pieces if piece.strip()]
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace (including thin spaces) into single spaces."""
+    return re.sub(r"[\s  ]+", " ", text).strip()

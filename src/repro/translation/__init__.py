@@ -1,0 +1,26 @@
+"""Claim-to-query translation (Section 4 of the paper).
+
+The pipeline has three stages: claim preprocessing into feature vectors
+(:mod:`repro.translation.preprocess`), the four property classifiers
+(:mod:`repro.translation.classifiers`), and the query-generation algorithm
+(Algorithm 2, :mod:`repro.translation.querygen`).  The
+:class:`~repro.translation.translator.ClaimTranslator` facade glues them
+together and is the component Algorithm 1 calls for every claim.
+"""
+
+from repro.translation.classifiers import PropertyClassifierSuite, TrainingExample
+from repro.translation.preprocess import ClaimPreprocessor, PreprocessedClaim
+from repro.translation.querygen import QueryCandidate, QueryGenerationResult, QueryGenerator
+from repro.translation.translator import ClaimTranslator, TranslationResult
+
+__all__ = [
+    "ClaimPreprocessor",
+    "ClaimTranslator",
+    "PreprocessedClaim",
+    "PropertyClassifierSuite",
+    "QueryCandidate",
+    "QueryGenerationResult",
+    "QueryGenerator",
+    "TrainingExample",
+    "TranslationResult",
+]

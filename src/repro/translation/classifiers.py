@@ -1,0 +1,192 @@
+"""The four property classifiers (Section 3.1 / 4.1).
+
+One classifier per query property — relations, primary-key values,
+attribute labels and formulas — each trained over the Figure 4 features.
+The suite keeps all four aligned, retrains them as labelled claims arrive
+(active learning) and exposes the ranked probability distributions consumed
+by query generation and by question planning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.claims.model import Claim, ClaimGroundTruth, ClaimProperty
+from repro.errors import NotFittedError, TranslationError
+from repro.ml.base import Prediction
+from repro.ml.knn import KNearestNeighborsClassifier
+from repro.ml.logistic import SoftmaxRegressionClassifier
+from repro.translation.preprocess import ClaimPreprocessor
+
+
+@dataclass(frozen=True)
+class TrainingExample:
+    """One labelled claim: text features plus the four property labels."""
+
+    claim: Claim
+    labels: Mapping[ClaimProperty, str]
+
+    @staticmethod
+    def from_ground_truth(claim: Claim, truth: ClaimGroundTruth) -> "TrainingExample":
+        return TrainingExample(
+            claim=claim,
+            labels={
+                claim_property: truth.primary_label(claim_property)
+                for claim_property in ClaimProperty.ordered()
+            },
+        )
+
+
+@dataclass
+class SuiteConfig:
+    """Model-selection knobs of the classifier suite."""
+
+    #: Below this many training samples the k-NN fallback is used.
+    parametric_threshold: int = 40
+    knn_neighbors: int = 5
+    learning_rate: float = 0.5
+    epochs: int = 120
+    l2: float = 1e-3
+    seed: int = 0
+
+
+class PropertyClassifierSuite:
+    """Trains and serves the four property classifiers."""
+
+    def __init__(
+        self,
+        preprocessor: ClaimPreprocessor,
+        config: SuiteConfig | None = None,
+    ) -> None:
+        self._preprocessor = preprocessor
+        self._config = config if config is not None else SuiteConfig()
+        self._models: dict[ClaimProperty, object] = {}
+        self._examples: list[TrainingExample] = []
+        self._feature_cache: dict[str, np.ndarray] = {}
+        self._retrain_count = 0
+
+    # ------------------------------------------------------------------ #
+    # training data management
+    # ------------------------------------------------------------------ #
+    @property
+    def example_count(self) -> int:
+        return len(self._examples)
+
+    @property
+    def retrain_count(self) -> int:
+        return self._retrain_count
+
+    @property
+    def preprocessor(self) -> ClaimPreprocessor:
+        return self._preprocessor
+
+    def add_examples(self, examples: Sequence[TrainingExample]) -> None:
+        """Accumulate labelled claims without retraining yet."""
+        self._examples.extend(examples)
+
+    def _features_of(self, claim: Claim) -> np.ndarray:
+        cached = self._feature_cache.get(claim.claim_id)
+        if cached is None:
+            cached = self._preprocessor.preprocess(claim).features
+            self._feature_cache[claim.claim_id] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # (re)training
+    # ------------------------------------------------------------------ #
+    def fit(self, examples: Sequence[TrainingExample] | None = None) -> "PropertyClassifierSuite":
+        """Train all four classifiers on the accumulated examples."""
+        if examples is not None:
+            self._examples = list(examples)
+        if not self._examples:
+            raise TranslationError("cannot train the classifier suite without examples")
+        features = np.vstack([self._features_of(example.claim) for example in self._examples])
+        for claim_property in ClaimProperty.ordered():
+            labels = [example.labels[claim_property] for example in self._examples]
+            model = self._make_model(len(self._examples), len(set(labels)))
+            model.fit(features, labels)
+            self._models[claim_property] = model
+        self._retrain_count += 1
+        return self
+
+    def retrain(self, new_examples: Sequence[TrainingExample]) -> "PropertyClassifierSuite":
+        """Add newly verified claims as training samples and refit (Algorithm 1)."""
+        self.add_examples(new_examples)
+        return self.fit()
+
+    def _make_model(self, sample_count: int, class_count: int):
+        if sample_count < self._config.parametric_threshold or class_count < 2:
+            return KNearestNeighborsClassifier(k=min(self._config.knn_neighbors, sample_count))
+        return SoftmaxRegressionClassifier(
+            learning_rate=self._config.learning_rate,
+            epochs=self._config.epochs,
+            l2=self._config.l2,
+            seed=self._config.seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+    @property
+    def is_trained(self) -> bool:
+        return len(self._models) == len(ClaimProperty.ordered())
+
+    def predict(self, claim: Claim) -> dict[ClaimProperty, Prediction]:
+        """Ranked label distributions for all four properties of one claim."""
+        if not self.is_trained:
+            raise NotFittedError("the classifier suite has not been trained yet")
+        features = self._features_of(claim)
+        return {
+            claim_property: model.predict(features)
+            for claim_property, model in self._models.items()
+        }
+
+    def predict_property(self, claim: Claim, claim_property: ClaimProperty) -> Prediction:
+        if not self.is_trained:
+            raise NotFittedError("the classifier suite has not been trained yet")
+        return self._models[claim_property].predict(self._features_of(claim))
+
+    def known_labels(self, claim_property: ClaimProperty) -> tuple[str, ...]:
+        """Labels the classifier for ``claim_property`` can currently emit."""
+        model = self._models.get(claim_property)
+        if model is None:
+            return ()
+        return model.classes
+
+    # ------------------------------------------------------------------ #
+    # evaluation helpers (Figures 8-10)
+    # ------------------------------------------------------------------ #
+    def evaluate_accuracy(
+        self,
+        claims: Sequence[Claim],
+        truths: Sequence[ClaimGroundTruth],
+        top_k: int = 1,
+    ) -> dict[ClaimProperty, float]:
+        """Top-k accuracy of every classifier on held-out claims."""
+        if len(claims) != len(truths):
+            raise ValueError("claims and truths must be aligned")
+        if not claims:
+            return {claim_property: 0.0 for claim_property in ClaimProperty.ordered()}
+        scores: dict[ClaimProperty, float] = {}
+        for claim_property in ClaimProperty.ordered():
+            hits = 0
+            for claim, truth in zip(claims, truths):
+                prediction = self.predict_property(claim, claim_property)
+                top_labels = {label for label, _ in prediction.top_k(top_k)}
+                if set(truth.property_labels(claim_property)) & top_labels:
+                    hits += 1
+            scores[claim_property] = hits / len(claims)
+        return scores
+
+    def average_accuracy(
+        self,
+        claims: Sequence[Claim],
+        truths: Sequence[ClaimGroundTruth],
+        top_k: int = 1,
+    ) -> float:
+        """Mean accuracy across the four classifiers (Figure 8 series)."""
+        scores = self.evaluate_accuracy(claims, truths, top_k)
+        return float(np.mean(list(scores.values())))

@@ -1,0 +1,83 @@
+"""Claim preprocessing (Section 4.1, Figure 4).
+
+Preprocessing turns a claim into (i) the dense feature vector consumed by
+the property classifiers and (ii) the syntactically extracted parameter for
+explicit claims.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.claims.model import Claim
+from repro.text.features import ClaimFeaturizer, FeaturizerConfig
+from repro.text.numbers import extract_numeric_mentions, extract_parameter
+
+
+@dataclass(frozen=True)
+class PreprocessedClaim:
+    """A claim together with its derived features."""
+
+    claim: Claim
+    features: np.ndarray
+    extracted_parameter: float | None
+    numeric_mention_count: int
+
+    @property
+    def parameter(self) -> float | None:
+        """The parameter to use for matching: stated if present, else extracted."""
+        if self.claim.parameter is not None:
+            return self.claim.parameter
+        return self.extracted_parameter
+
+
+class ClaimPreprocessor:
+    """Fits the featurizer on a corpus of texts and preprocesses claims."""
+
+    def __init__(self, featurizer: ClaimFeaturizer | None = None) -> None:
+        self._featurizer = featurizer if featurizer is not None else ClaimFeaturizer(
+            FeaturizerConfig()
+        )
+
+    @property
+    def featurizer(self) -> ClaimFeaturizer:
+        return self._featurizer
+
+    def fit(self, claims: Sequence[Claim]) -> "ClaimPreprocessor":
+        """Fit the feature pipeline on the claims available at bootstrap."""
+        claim_texts = [claim.text for claim in claims]
+        sentence_texts = [claim.context_text for claim in claims]
+        self._featurizer.fit(claim_texts, sentence_texts)
+        return self
+
+    def fit_texts(self, claim_texts: Sequence[str], sentence_texts: Sequence[str] | None = None) -> "ClaimPreprocessor":
+        self._featurizer.fit(claim_texts, sentence_texts)
+        return self
+
+    def preprocess(self, claim: Claim) -> PreprocessedClaim:
+        """Featurise one claim and extract its numeric parameter."""
+        features = self._featurizer.transform_dense(claim.text, claim.context_text)
+        mentions = extract_numeric_mentions(claim.text)
+        return PreprocessedClaim(
+            claim=claim,
+            features=features,
+            extracted_parameter=extract_parameter(claim.text),
+            numeric_mention_count=len(mentions),
+        )
+
+    def preprocess_many(self, claims: Sequence[Claim]) -> list[PreprocessedClaim]:
+        return [self.preprocess(claim) for claim in claims]
+
+    def feature_matrix(self, claims: Sequence[Claim]) -> np.ndarray:
+        """Feature matrix for a batch of claims (one row per claim)."""
+        return self._featurizer.transform_matrix(
+            [claim.text for claim in claims],
+            [claim.context_text for claim in claims],
+        )
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._featurizer.is_fitted

@@ -1,0 +1,204 @@
+"""End-to-end claim-to-query translation facade.
+
+:class:`ClaimTranslator` wires the preprocessor, the four property
+classifiers and the query generator together.  Algorithm 1 uses it twice
+per claim: once to obtain property predictions (turned into answer options
+by the question planner) and once — after the crowd validated the context —
+to generate and tentatively execute candidate queries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.claims.model import Claim, ClaimGroundTruth, ClaimProperty
+from repro.config import TranslationConfig
+from repro.dataset.database import Database
+from repro.errors import FormulaSyntaxError, TranslationError
+from repro.formulas.ast import Formula
+from repro.formulas.parser import parse_formula
+from repro.ml.base import Prediction
+from repro.translation.classifiers import PropertyClassifierSuite, SuiteConfig, TrainingExample
+from repro.translation.preprocess import ClaimPreprocessor
+from repro.translation.querygen import QueryGenerationResult, QueryGenerator
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Everything the system derived for one claim."""
+
+    claim: Claim
+    predictions: Mapping[ClaimProperty, Prediction]
+    generation: QueryGenerationResult
+    #: ``True`` = validated, ``False`` = contradicted, ``None`` = undecided
+    #: (general claims whose parameter only a human can judge).
+    verdict: bool | None
+    suggested_values: tuple[float, ...] = ()
+
+    @property
+    def best_sql(self) -> str | None:
+        best = self.generation.best
+        return best.sql if best is not None else None
+
+    @property
+    def best_value(self) -> float | None:
+        best = self.generation.best
+        return best.value if best is not None else None
+
+
+class ClaimTranslator:
+    """The automated translation component of Scrutinizer."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: TranslationConfig | None = None,
+        preprocessor: ClaimPreprocessor | None = None,
+        suite_config: SuiteConfig | None = None,
+        key_attribute: str = "Index",
+    ) -> None:
+        self.config = config if config is not None else TranslationConfig()
+        self._database = database
+        self._preprocessor = preprocessor if preprocessor is not None else ClaimPreprocessor()
+        self._suite = PropertyClassifierSuite(self._preprocessor, suite_config)
+        self._generator = QueryGenerator(
+            database, config=self.config, key_attribute=key_attribute
+        )
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    @property
+    def suite(self) -> PropertyClassifierSuite:
+        return self._suite
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
+    def is_trained(self) -> bool:
+        return self._suite.is_trained
+
+    def bootstrap(
+        self,
+        claims: Sequence[Claim],
+        truths: Sequence[ClaimGroundTruth] | None = None,
+        fit_features_only: bool = False,
+    ) -> "ClaimTranslator":
+        """Fit the feature pipeline and, when labels are given, the classifiers.
+
+        In the paper's warm-start setting the previously checked claims
+        provide labels immediately; in the cold-start scenario only the
+        claim texts are available, so ``fit_features_only=True`` fits the
+        featurizer and defers classifier training to the first retrain.
+        """
+        if not claims:
+            raise TranslationError("bootstrap requires at least one claim")
+        self._preprocessor.fit(claims)
+        if fit_features_only or truths is None:
+            return self
+        if len(claims) != len(truths):
+            raise TranslationError("claims and truths must be aligned")
+        examples = [
+            TrainingExample.from_ground_truth(claim, truth)
+            for claim, truth in zip(claims, truths)
+        ]
+        self._suite.fit(examples)
+        return self
+
+    def retrain(self, claims: Sequence[Claim], truths: Sequence[ClaimGroundTruth]) -> None:
+        """Feed newly verified claims back into the classifiers (Algorithm 1)."""
+        if len(claims) != len(truths):
+            raise TranslationError("claims and truths must be aligned")
+        examples = [
+            TrainingExample.from_ground_truth(claim, truth)
+            for claim, truth in zip(claims, truths)
+        ]
+        self._suite.retrain(examples)
+
+    # ------------------------------------------------------------------ #
+    # prediction and generation
+    # ------------------------------------------------------------------ #
+    def predict(self, claim: Claim) -> dict[ClaimProperty, Prediction]:
+        """Ranked property predictions for one claim."""
+        return self._suite.predict(claim)
+
+    def candidate_labels(
+        self, claim: Claim, claim_property: ClaimProperty, top_k: int | None = None
+    ) -> list[tuple[str, float]]:
+        """Top-k (label, probability) pairs for one property of one claim."""
+        limits = {
+            ClaimProperty.RELATION: self.config.top_k_relations,
+            ClaimProperty.KEY: self.config.top_k_keys,
+            ClaimProperty.ATTRIBUTE: self.config.top_k_attributes,
+            ClaimProperty.FORMULA: self.config.top_k_formulas,
+        }
+        limit = top_k if top_k is not None else limits[claim_property]
+        prediction = self._suite.predict_property(claim, claim_property)
+        return prediction.top_k(limit)
+
+    def translate(
+        self,
+        claim: Claim,
+        validated_context: Mapping[ClaimProperty, Sequence[str]] | None = None,
+    ) -> TranslationResult:
+        """Translate a claim into candidate queries and a tentative verdict.
+
+        ``validated_context`` carries the crowd-confirmed labels per
+        property; for properties not present (typically the formula, which
+        the crowd never validates directly) the classifier's top-k output is
+        used instead.
+        """
+        predictions = self.predict(claim)
+        relations = self._context_labels(claim, ClaimProperty.RELATION, validated_context)
+        keys = self._context_labels(claim, ClaimProperty.KEY, validated_context)
+        attributes = self._context_labels(claim, ClaimProperty.ATTRIBUTE, validated_context)
+        formula_labels = self._context_labels(claim, ClaimProperty.FORMULA, validated_context)
+        formulas = self._parse_formulas(formula_labels)
+        parameter = claim.parameter
+        generation = self._generator.generate(
+            relations=relations,
+            keys=keys,
+            attributes=attributes,
+            formulas=formulas,
+            parameter=parameter,
+        )
+        verdict: bool | None
+        if claim.is_explicit and parameter is not None:
+            verdict = generation.has_match
+        else:
+            verdict = None
+        return TranslationResult(
+            claim=claim,
+            predictions=predictions,
+            generation=generation,
+            verdict=verdict,
+            suggested_values=generation.suggested_values(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _context_labels(
+        self,
+        claim: Claim,
+        claim_property: ClaimProperty,
+        validated_context: Mapping[ClaimProperty, Sequence[str]] | None,
+    ) -> list[str]:
+        if validated_context is not None and claim_property in validated_context:
+            labels = list(validated_context[claim_property])
+            if labels:
+                return labels
+        return [label for label, _ in self.candidate_labels(claim, claim_property)]
+
+    @staticmethod
+    def _parse_formulas(labels: Sequence[str]) -> list[Formula]:
+        formulas: list[Formula] = []
+        for label in labels:
+            try:
+                formulas.append(parse_formula(label))
+            except FormulaSyntaxError:
+                continue
+        return formulas

@@ -1,0 +1,224 @@
+"""Tests for the claim model, documents, annotations and the corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.claims.annotations import agreement, build_annotation
+from repro.claims.corpus import AnnotatedClaim, ClaimCorpus
+from repro.claims.document import Document, Section, Sentence, build_document
+from repro.claims.model import Claim, ClaimGroundTruth, ClaimProperty, ComparisonOp
+from repro.errors import ClaimError
+from repro.formulas.extraction import const, lookup, op
+
+
+def _claim(claim_id: str = "c1", explicit: bool = True) -> Claim:
+    return Claim(
+        claim_id=claim_id,
+        text="demand grew by 3%",
+        sentence_text="In 2017, demand grew by 3%.",
+        section_id="sec1",
+        is_explicit=explicit,
+        parameter=0.03 if explicit else None,
+    )
+
+
+def _truth(claim_id: str = "c1", correct: bool = True) -> ClaimGroundTruth:
+    return ClaimGroundTruth(
+        claim_id=claim_id,
+        relations=("GED",),
+        keys=("PGElecDemand",),
+        attributes=("2017", "2016"),
+        formula_label="((a / b) - 1)",
+        expected_value=0.0298,
+        is_correct=correct,
+        sql="SELECT (a.2017 / b.2016) - 1 FROM GED a, GED b",
+    )
+
+
+class TestComparisonOp:
+    def test_equality_uses_tolerance(self):
+        assert ComparisonOp.EQUAL.holds(0.0298, 0.03, tolerance=0.05)
+        assert not ComparisonOp.EQUAL.holds(0.02, 0.03, tolerance=0.05)
+
+    def test_ordering_operators(self):
+        assert ComparisonOp.GREATER_THAN.holds(2.0, 1.0)
+        assert ComparisonOp.LESS_THAN.holds(1.0, 2.0)
+        assert ComparisonOp.NOT_EQUAL.holds(1.0, 2.0)
+
+
+class TestClaim:
+    def test_explicit_claim_requires_parameter(self):
+        with pytest.raises(ClaimError):
+            Claim(
+                claim_id="c1",
+                text="x",
+                sentence_text="x",
+                section_id="s",
+                is_explicit=True,
+                parameter=None,
+            )
+
+    def test_context_text_falls_back_to_claim_text(self):
+        claim = Claim(
+            claim_id="c1", text="demand grew", sentence_text="", section_id="s", is_explicit=False
+        )
+        assert claim.context_text == "demand grew"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ClaimError):
+            Claim(claim_id="", text="x", sentence_text="x", section_id="s", is_explicit=False)
+
+
+class TestGroundTruth:
+    def test_property_labels(self):
+        truth = _truth()
+        assert truth.property_labels(ClaimProperty.RELATION) == ("GED",)
+        assert truth.property_labels(ClaimProperty.FORMULA) == ("((a / b) - 1)",)
+
+    def test_primary_label(self):
+        assert _truth().primary_label(ClaimProperty.KEY) == "PGElecDemand"
+
+    def test_primary_label_missing_raises(self):
+        truth = ClaimGroundTruth(
+            claim_id="c1", relations=(), keys=(), attributes=(), formula_label="a"
+        )
+        with pytest.raises(ClaimError):
+            truth.primary_label(ClaimProperty.RELATION)
+
+    def test_complexity_positive(self):
+        assert _truth().complexity >= 5
+
+
+class TestDocument:
+    def _document(self) -> Document:
+        section1 = Section(
+            section_id="sec1",
+            title="Power",
+            sentences=(
+                Sentence(text="Claim one.", claim_ids=("c1",)),
+                Sentence(text="No claims here."),
+            ),
+            read_cost=20.0,
+        )
+        section2 = Section(
+            section_id="sec2",
+            title="Fuels",
+            sentences=(Sentence(text="Claim two.", claim_ids=("c2",)),),
+        )
+        return build_document("Outlook", [section1, section2])
+
+    def test_section_of(self):
+        document = self._document()
+        assert document.section_of("c1") == "sec1"
+        assert document.section_of("c2") == "sec2"
+
+    def test_unknown_claim_raises(self):
+        with pytest.raises(ClaimError):
+            self._document().section_of("nope")
+
+    def test_counts(self):
+        document = self._document()
+        assert document.section_count == 2
+        assert document.sentence_count == 3
+        assert document.claim_count == 2
+
+    def test_duplicate_section_rejected(self):
+        document = self._document()
+        with pytest.raises(ClaimError):
+            document.add_section(Section(section_id="sec1", title="dup"))
+
+    def test_duplicate_claim_across_sections_rejected(self):
+        document = self._document()
+        with pytest.raises(ClaimError):
+            document.add_section(
+                Section(
+                    section_id="sec3",
+                    title="dup claim",
+                    sentences=(Sentence(text="x", claim_ids=("c1",)),),
+                )
+            )
+
+    def test_read_cost(self):
+        assert self._document().section_read_cost("sec1") == 20.0
+
+
+class TestAnnotations:
+    def test_generalize_delegates_to_extractor(self):
+        annotation = build_annotation(
+            "c1", "expert1", op("-", op("/", lookup("GED", "X", "2017"), lookup("GED", "X", "2016")), const(1))
+        )
+        generalized = annotation.generalize()
+        assert generalized.relations == ("GED",)
+
+    def test_requires_ids(self):
+        with pytest.raises(ClaimError):
+            build_annotation("", "expert1", lookup("GED", "X", "2017"))
+
+    def test_agreement(self):
+        annotations = [
+            build_annotation("c1", f"e{i}", lookup("GED", "X", "2017"), verdict=verdict)
+            for i, verdict in enumerate([True, True, False])
+        ]
+        assert agreement(annotations) == pytest.approx(2 / 3)
+
+    def test_agreement_empty(self):
+        assert agreement([]) == 0.0
+
+
+class TestCorpus:
+    def _corpus(self, ged_database) -> ClaimCorpus:
+        document = build_document(
+            "Outlook",
+            [
+                Section(
+                    section_id="sec1",
+                    title="Power",
+                    sentences=(Sentence(text="one", claim_ids=("c1",)), Sentence(text="two", claim_ids=("c2",))),
+                )
+            ],
+        )
+        annotated = [
+            AnnotatedClaim(claim=_claim("c1"), ground_truth=_truth("c1")),
+            AnnotatedClaim(claim=_claim("c2", explicit=False), ground_truth=_truth("c2", correct=False)),
+        ]
+        return ClaimCorpus(document, ged_database, annotated)
+
+    def test_lookup_by_id(self, ged_database):
+        corpus = self._corpus(ged_database)
+        assert corpus.claim("c1").claim_id == "c1"
+        assert corpus.ground_truth("c2").is_correct is False
+
+    def test_duplicate_claim_rejected(self, ged_database):
+        document = build_document("t", [Section("sec1", "s", (Sentence("x", ("c1",)),))])
+        annotated = [AnnotatedClaim(claim=_claim("c1"), ground_truth=_truth("c1"))] * 2
+        with pytest.raises(ClaimError):
+            ClaimCorpus(document, ged_database, annotated)
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ClaimError):
+            AnnotatedClaim(claim=_claim("c1"), ground_truth=_truth("c2"))
+
+    def test_explicit_share(self, ged_database):
+        assert self._corpus(ged_database).explicit_share() == 0.5
+
+    def test_incorrect_claim_ids(self, ged_database):
+        assert self._corpus(ged_database).incorrect_claim_ids() == ("c2",)
+
+    def test_property_profile(self, ged_database):
+        profile = self._corpus(ged_database).property_profile(ClaimProperty.RELATION)
+        assert profile.counts == {"GED": 2}
+        assert profile.percentile(50) == 2.0
+
+    def test_split(self, ged_database):
+        corpus = self._corpus(ged_database)
+        train, test = corpus.split(0.5, seed=1)
+        assert len(train) + len(test) == 2
+
+    def test_subset(self, ged_database):
+        subset = self._corpus(ged_database).subset(["c1"])
+        assert subset.claim_count == 1
+
+    def test_unknown_claim_raises(self, ged_database):
+        with pytest.raises(ClaimError):
+            self._corpus(ged_database).claim("zzz")

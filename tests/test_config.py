@@ -1,0 +1,104 @@
+"""Tests for the top-level configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BatchingConfig, CostModelConfig, ScrutinizerConfig, TranslationConfig
+from repro.errors import ConfigurationError
+
+
+class TestCostModelConfig:
+    def test_default_counts_from_corollary_one(self):
+        config = CostModelConfig()
+        assert config.default_option_count == round(
+            config.query_suggest_cost / config.query_verify_cost
+        )
+        assert config.default_screen_count == round(
+            config.query_suggest_cost
+            / (config.property_verify_cost + config.property_suggest_cost)
+        )
+
+    def test_overhead_factor_with_corollary_settings(self):
+        """Theorem 1's expression evaluates to 2 under the Corollary 1 setting.
+
+        Together with the unavoidable fallback of suggesting the query when
+        every option fails (one extra ``sf``), this is the paper's
+        "overhead limited to factor three".
+        """
+        config = CostModelConfig()
+        factor = config.worst_case_overhead_factor(
+            config.default_option_count, config.default_screen_count
+        )
+        assert factor == pytest.approx(2.0, rel=0.05)
+        assert factor + 1.0 <= 3.0 + 1e-9
+
+
+class TestBatchingConfig:
+    def test_defaults_valid(self):
+        config = BatchingConfig()
+        assert config.max_batch_size == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_batch_size": -1},
+            {"max_batch_size": 0},
+            {"cost_threshold": -5},
+            {"utility_weight": -1},
+            {"section_read_cost": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(**kwargs)
+
+
+class TestTranslationConfig:
+    def test_defaults_valid(self):
+        config = TranslationConfig()
+        assert config.admissible_error == pytest.approx(0.05)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"top_k_relations": 0},
+            {"admissible_error": 0.0},
+            {"admissible_error": 1.0},
+            {"max_permutations": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TranslationConfig(**kwargs)
+
+
+class TestScrutinizerConfig:
+    def test_resolved_counts(self):
+        config = ScrutinizerConfig(options_per_property=7)
+        assert config.resolved_option_count() == 7
+        assert config.resolved_screen_count() >= 1
+
+    def test_option_count_defaults_to_corollary(self):
+        config = ScrutinizerConfig(options_per_property=None)
+        assert config.resolved_option_count() == config.cost_model.default_option_count
+
+    def test_as_sequential_only_changes_ordering(self):
+        config = ScrutinizerConfig(checker_count=5, seed=42)
+        sequential = config.as_sequential()
+        assert sequential.claim_ordering is False
+        assert sequential.checker_count == 5
+        assert sequential.seed == 42
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"checker_count": 0},
+            {"votes_per_claim": 0},
+            {"votes_per_claim": 5, "checker_count": 3},
+            {"options_per_property": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ScrutinizerConfig(**kwargs)

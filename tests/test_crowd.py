@@ -1,0 +1,188 @@
+"""Tests for the simulated crowd: oracle, timing, voting, workers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.claims.model import ClaimProperty
+from repro.config import CostModelConfig
+from repro.crowd.oracle import GroundTruthOracle
+from repro.crowd.timing import TimingModel, TimingModelConfig
+from repro.crowd.voting import majority_vote, unanimous, vote_counts
+from repro.crowd.worker import SimulatedChecker
+from repro.errors import ConfigurationError, CrowdError
+from repro.planning.options import AnswerOption
+from repro.planning.screens import QueryOption, QuestionPlan, Screen
+
+
+@pytest.fixture()
+def oracle(small_corpus) -> GroundTruthOracle:
+    return GroundTruthOracle(small_corpus)
+
+
+class TestOracle:
+    def test_correct_labels_come_from_ground_truth(self, oracle, small_corpus):
+        claim_id = small_corpus.claim_ids[0]
+        truth = small_corpus.ground_truth(claim_id)
+        assert oracle.correct_labels(claim_id, ClaimProperty.RELATION) == truth.relations
+
+    def test_answer_screen_picks_displayed_option(self, oracle, small_corpus):
+        claim_id = small_corpus.claim_ids[0]
+        truth = small_corpus.ground_truth(claim_id)
+        screen = Screen(
+            claim_property=ClaimProperty.RELATION,
+            options=(
+                AnswerOption("WrongRelation", 0.5),
+                AnswerOption(truth.relations[0], 0.5),
+            ),
+        )
+        answer = oracle.answer_screen(claim_id, screen)
+        assert answer.displayed_hit
+        assert answer.selected_position == 1
+        assert not answer.suggested
+
+    def test_answer_screen_suggests_when_missing(self, oracle, small_corpus):
+        claim_id = small_corpus.claim_ids[0]
+        screen = Screen(
+            claim_property=ClaimProperty.RELATION,
+            options=(AnswerOption("WrongRelation", 1.0),),
+        )
+        answer = oracle.answer_screen(claim_id, screen)
+        assert answer.suggested
+        assert answer.selected_labels
+
+    def test_answer_final_accepts_matching_value(self, oracle, small_corpus):
+        claim_id = small_corpus.claim_ids[0]
+        truth = small_corpus.ground_truth(claim_id)
+        options = (
+            QueryOption(sql="SELECT wrong", value=(truth.expected_value or 0) * 10 + 5, probability=0.5),
+            QueryOption(sql=truth.sql, value=truth.expected_value, probability=0.5),
+        )
+        answer = oracle.answer_final(claim_id, options)
+        assert not answer.suggested
+        assert answer.chosen_position == 1
+        assert answer.verdict == truth.is_correct
+
+    def test_answer_final_suggests_when_no_match(self, oracle, small_corpus):
+        claim_id = small_corpus.claim_ids[0]
+        answer = oracle.answer_final(claim_id, ())
+        assert answer.suggested
+
+    def test_complexity_positive(self, oracle, small_corpus):
+        assert oracle.claim_complexity(small_corpus.claim_ids[0]) > 0
+
+
+class TestTimingModel:
+    def test_manual_time_grows_with_complexity(self):
+        model = TimingModel(TimingModelConfig(noise_sigma=0.0))
+        assert model.expected_manual_time(10) > model.expected_manual_time(4)
+
+    def test_system_cheaper_than_manual_in_good_case(self):
+        model = TimingModel(TimingModelConfig(noise_sigma=0.0), CostModelConfig())
+        manual = model.expected_manual_time(6)
+        system = model.expected_system_time(6, options_read=8, suggestions_made=0, final_options_read=2)
+        assert system < manual / 2 + 10
+
+    def test_suggestions_add_cost(self):
+        model = TimingModel(TimingModelConfig(noise_sigma=0.0))
+        without = model.expected_system_time(4, options_read=5, suggestions_made=0)
+        with_suggestion = model.expected_system_time(4, options_read=5, suggestions_made=2)
+        assert with_suggestion > without
+
+    def test_final_suggestion_dominates(self):
+        model = TimingModel(TimingModelConfig(noise_sigma=0.0), CostModelConfig())
+        assisted = model.expected_system_time(4, 5, 0, final_suggested=False)
+        unassisted = model.expected_system_time(4, 5, 0, final_suggested=True)
+        assert unassisted - assisted == pytest.approx(CostModelConfig().query_suggest_cost)
+
+    def test_noise_is_multiplicative_and_positive(self):
+        model = TimingModel(TimingModelConfig(noise_sigma=0.3), seed=5)
+        samples = [model.sample_manual_time(5) for _ in range(50)]
+        assert all(sample > 0 for sample in samples)
+        assert len(set(samples)) > 1
+
+    def test_zero_noise_is_deterministic(self):
+        model = TimingModel(TimingModelConfig(noise_sigma=0.0))
+        assert model.sample_manual_time(5) == model.expected_manual_time(5)
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingModelConfig(manual_base=-1)
+
+
+class TestVoting:
+    def test_majority_true(self):
+        assert majority_vote([True, True, False]) is True
+
+    def test_majority_false(self):
+        assert majority_vote([False, False, True]) is False
+
+    def test_tie_resolves_to_true(self):
+        assert majority_vote([True, False]) is True
+
+    def test_empty_rejected(self):
+        with pytest.raises(CrowdError):
+            majority_vote([])
+
+    def test_vote_counts(self):
+        assert vote_counts([True, False, True]) == {True: 2, False: 1}
+
+    def test_unanimous(self):
+        assert unanimous([True, True])
+        assert unanimous([False, False])
+        assert not unanimous([True, False])
+        assert not unanimous([])
+
+
+class TestSimulatedChecker:
+    def _plan(self, oracle, small_corpus, claim_id: str) -> QuestionPlan:
+        truth = small_corpus.ground_truth(claim_id)
+        screens = tuple(
+            Screen(
+                claim_property=prop,
+                options=(AnswerOption(truth.primary_label(prop), 1.0),),
+            )
+            for prop in ClaimProperty.ordered()
+        )
+        final = (QueryOption(sql=truth.sql, value=truth.expected_value, probability=1.0),)
+        return QuestionPlan(claim_id=claim_id, screens=screens, query_options=final)
+
+    def test_verify_with_plan_matches_ground_truth(self, oracle, small_corpus):
+        claim_id = small_corpus.claim_ids[0]
+        checker = SimulatedChecker("S1", oracle, error_rate=0.0, skip_rate=0.0, seed=1)
+        response = checker.verify_with_plan(
+            small_corpus.claim(claim_id), self._plan(oracle, small_corpus, claim_id)
+        )
+        assert response.decided
+        assert response.verdict == small_corpus.ground_truth(claim_id).is_correct
+        assert response.elapsed_seconds > 0
+        assert response.used_system
+
+    def test_manual_verification(self, oracle, small_corpus):
+        claim_id = small_corpus.claim_ids[1]
+        checker = SimulatedChecker("M1", oracle, error_rate=0.0, skip_rate=0.0, seed=2)
+        response = checker.verify_manually(small_corpus.claim(claim_id))
+        assert response.decided
+        assert not response.used_system
+        assert response.verdict == small_corpus.ground_truth(claim_id).is_correct
+
+    def test_skipping(self, oracle, small_corpus):
+        checker = SimulatedChecker("S1", oracle, error_rate=0.0, skip_rate=1.0 - 1e-9, seed=3)
+        response = checker.verify_manually(small_corpus.claim(small_corpus.claim_ids[0]))
+        assert response.skipped and response.verdict is None
+
+    def test_errors_only_flip_correct_claims(self, oracle, small_corpus):
+        incorrect = small_corpus.incorrect_claim_ids()
+        if not incorrect:
+            pytest.skip("corpus has no injected errors")
+        claim_id = incorrect[0]
+        checker = SimulatedChecker("S1", oracle, error_rate=0.999, skip_rate=0.0, seed=4)
+        response = checker.verify_manually(small_corpus.claim(claim_id))
+        # An incorrect claim is never accidentally reported as correct.
+        assert response.verdict is False
+
+    def test_invalid_rates_rejected(self, oracle):
+        with pytest.raises(ValueError):
+            SimulatedChecker("S1", oracle, error_rate=1.5)
+        with pytest.raises(ValueError):
+            SimulatedChecker("S1", oracle, skip_rate=-0.1)

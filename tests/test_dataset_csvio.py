@@ -1,0 +1,62 @@
+"""Round-trip tests for CSV import/export of relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.csvio import read_relation_csv, write_relation_csv
+from repro.errors import SchemaError
+
+
+class TestCsvRoundTrip:
+    def test_write_then_read_preserves_values(self, ged_relation, tmp_path):
+        path = tmp_path / "ged.csv"
+        write_relation_csv(ged_relation, path)
+        loaded = read_relation_csv(path, name="GED")
+        assert loaded.value("PGElecDemand", "2017") == 22209.0
+        assert loaded.keys == ged_relation.keys
+        assert loaded.attributes == ged_relation.attributes
+
+    def test_name_defaults_to_file_stem(self, ged_relation, tmp_path):
+        path = tmp_path / "energy_outlook.csv"
+        write_relation_csv(ged_relation, path)
+        loaded = read_relation_csv(path)
+        assert loaded.name == "energy_outlook"
+
+    def test_missing_cells_round_trip_as_none(self, tmp_path):
+        path = tmp_path / "partial.csv"
+        path.write_text("Index,2016,2017\nA,,5\n", encoding="utf-8")
+        loaded = read_relation_csv(path)
+        assert loaded.value("A", "2016") is None
+        assert loaded.value("A", "2017") == 5.0
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("Index,2016,2017\nA,1\n", encoding="utf-8")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+    def test_explicit_key_attribute(self, tmp_path):
+        path = tmp_path / "keyed.csv"
+        path.write_text("2016,Name,2017\n1,A,2\n", encoding="utf-8")
+        loaded = read_relation_csv(path, key_attribute="Name")
+        assert loaded.key_attribute == "Name"
+        assert loaded.value("A", "2017") == 2.0
+
+    def test_unknown_key_attribute_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("Index,2016\nA,1\n", encoding="utf-8")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path, key_attribute="Name")
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("Index,2016\nA,1\n\n\nB,2\n", encoding="utf-8")
+        loaded = read_relation_csv(path)
+        assert len(loaded) == 2

@@ -1,0 +1,115 @@
+"""Unit tests for value coercion and closeness checks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataset.types import coerce_value, is_missing, is_numeric, values_close
+
+
+class TestIsMissing:
+    def test_none_is_missing(self):
+        assert is_missing(None)
+
+    def test_nan_is_missing(self):
+        assert is_missing(float("nan"))
+
+    @pytest.mark.parametrize("token", ["", "na", "N/A", "null", "None", "-", ".."])
+    def test_missing_tokens(self, token):
+        assert is_missing(token)
+
+    def test_number_is_not_missing(self):
+        assert not is_missing(0.0)
+
+    def test_regular_string_is_not_missing(self):
+        assert not is_missing("PGElecDemand")
+
+
+class TestIsNumeric:
+    def test_float_is_numeric(self):
+        assert is_numeric(3.5)
+
+    def test_int_is_numeric(self):
+        assert is_numeric(7)
+
+    def test_bool_is_not_numeric(self):
+        assert not is_numeric(True)
+
+    def test_nan_is_not_numeric(self):
+        assert not is_numeric(float("nan"))
+
+    def test_string_is_not_numeric(self):
+        assert not is_numeric("22 209")
+
+
+class TestCoerceValue:
+    def test_plain_number_string(self):
+        assert coerce_value("22209") == 22209.0
+
+    def test_space_grouped_thousands(self):
+        assert coerce_value("22 209") == 22209.0
+
+    def test_comma_grouped_thousands(self):
+        assert coerce_value("1,234.5") == 1234.5
+
+    def test_percentage_becomes_fraction(self):
+        assert coerce_value("3%") == pytest.approx(0.03)
+
+    def test_missing_marker_becomes_none(self):
+        assert coerce_value("n/a") is None
+
+    def test_text_stays_text(self):
+        assert coerce_value("PGElecDemand") == "PGElecDemand"
+
+    def test_numeric_input_passes_through_as_float(self):
+        result = coerce_value(5)
+        assert isinstance(result, float) and result == 5.0
+
+    def test_bool_becomes_float(self):
+        assert coerce_value(True) == 1.0
+
+
+class TestValuesClose:
+    def test_identical_values_are_close(self):
+        assert values_close(3.0, 3.0, 0.0)
+
+    def test_within_tolerance(self):
+        assert values_close(100.0, 104.0, 0.05)
+
+    def test_outside_tolerance(self):
+        assert not values_close(100.0, 110.0, 0.05)
+
+    def test_zero_against_zero(self):
+        assert values_close(0.0, 0.0, 0.01)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            values_close(1.0, 1.0, -0.1)
+
+    def test_symmetry(self):
+        assert values_close(95.0, 100.0, 0.05) == values_close(100.0, 95.0, 0.05)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), st.floats(min_value=0, max_value=0.5))
+    def test_value_is_always_close_to_itself(self, value, tolerance):
+        assert values_close(value, value, tolerance)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1e6),
+        st.floats(min_value=1e-3, max_value=1e6),
+        st.floats(min_value=0, max_value=0.5),
+    )
+    def test_symmetry_property(self, left, right, tolerance):
+        assert values_close(left, right, tolerance) == values_close(right, left, tolerance)
+
+
+class TestCoerceValueProperties:
+    @given(st.floats(allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9))
+    def test_floats_round_trip(self, value):
+        assert coerce_value(value) == pytest.approx(value)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_integer_strings_parse(self, value):
+        assert coerce_value(str(value)) == float(value)

@@ -1,0 +1,189 @@
+"""Tests for the ML substrate: encoders, classifiers, metrics, active learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NotFittedError
+from repro.ml.active import UncertaintySampler, training_utility
+from repro.ml.base import Prediction
+from repro.ml.encoding import LabelEncoder
+from repro.ml.knn import KNearestNeighborsClassifier
+from repro.ml.logistic import SoftmaxRegressionClassifier
+from repro.ml.metrics import accuracy, entropy, top_k_accuracy, top_k_curve
+from repro.ml.naive_bayes import MultinomialNaiveBayesClassifier
+
+
+def _blobs(seed: int = 0, samples_per_class: int = 30, dimension: int = 10):
+    """Three well-separated Gaussian blobs with string labels."""
+    rng = np.random.default_rng(seed)
+    features, labels = [], []
+    for index, label in enumerate(["alpha", "beta", "gamma"]):
+        center = np.zeros(dimension)
+        center[index] = 5.0
+        features.append(rng.normal(loc=center, scale=0.5, size=(samples_per_class, dimension)))
+        labels.extend([label] * samples_per_class)
+    return np.vstack(features), labels
+
+
+class TestLabelEncoder:
+    def test_round_trip(self):
+        encoder = LabelEncoder().fit(["a", "b", "a", "c"])
+        assert encoder.class_count == 3
+        assert encoder.decode(encoder.encode(["c", "a"])) == ["c", "a"]
+
+    def test_partial_fit_keeps_indices_stable(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        index_of_a = encoder.index_of("a")
+        encoder.partial_fit(["c"])
+        assert encoder.index_of("a") == index_of_a
+        assert "c" in encoder
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(NotFittedError):
+            LabelEncoder().fit(["a"]).index_of("z")
+
+    def test_bad_index_raises(self):
+        with pytest.raises(NotFittedError):
+            LabelEncoder().fit(["a"]).label_of(5)
+
+
+class TestPrediction:
+    def test_sorted_by_probability(self):
+        prediction = Prediction.from_distribution(["x", "y", "z"], [0.1, 0.7, 0.2])
+        assert prediction.top_label == "y"
+        assert prediction.probabilities[0] == pytest.approx(0.7)
+
+    def test_top_k(self):
+        prediction = Prediction.from_distribution(["x", "y", "z"], [0.1, 0.7, 0.2])
+        assert [label for label, _ in prediction.top_k(2)] == ["y", "z"]
+
+    def test_probability_of_missing_label(self):
+        prediction = Prediction.from_distribution(["x"], [1.0])
+        assert prediction.probability_of("q") == 0.0
+
+    def test_entropy_uniform_greater_than_peaked(self):
+        uniform = Prediction.from_distribution(["a", "b"], [0.5, 0.5])
+        peaked = Prediction.from_distribution(["a", "b"], [0.99, 0.01])
+        assert uniform.entropy() > peaked.entropy()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Prediction(labels=("a",), probabilities=(0.5, 0.5))
+
+
+@pytest.mark.parametrize(
+    "model_factory",
+    [
+        lambda: SoftmaxRegressionClassifier(epochs=200, learning_rate=0.5),
+        lambda: MultinomialNaiveBayesClassifier(),
+        lambda: KNearestNeighborsClassifier(k=3),
+    ],
+    ids=["softmax", "naive-bayes", "knn"],
+)
+class TestClassifiersOnBlobs:
+    def test_high_training_accuracy(self, model_factory):
+        features, labels = _blobs()
+        model = model_factory().fit(features, labels)
+        predictions = [model.predict(row) for row in features]
+        assert accuracy(predictions, labels) > 0.9
+
+    def test_probabilities_sum_to_one(self, model_factory):
+        features, labels = _blobs()
+        model = model_factory().fit(features, labels)
+        prediction = model.predict(features[0])
+        assert sum(prediction.probabilities) == pytest.approx(1.0, abs=1e-6)
+
+    def test_predict_before_fit_raises(self, model_factory):
+        with pytest.raises(NotFittedError):
+            model_factory().predict(np.zeros(4))
+
+    def test_classes_exposed(self, model_factory):
+        features, labels = _blobs()
+        model = model_factory().fit(features, labels)
+        assert set(model.classes) == {"alpha", "beta", "gamma"}
+
+    def test_empty_training_rejected(self, model_factory):
+        with pytest.raises(ValueError):
+            model_factory().fit(np.zeros((0, 3)), [])
+
+    def test_mismatched_lengths_rejected(self, model_factory):
+        with pytest.raises(ValueError):
+            model_factory().fit(np.zeros((3, 2)), ["a", "b"])
+
+
+class TestSoftmaxSpecifics:
+    def test_feature_dimension_mismatch(self):
+        features, labels = _blobs(dimension=6)
+        model = SoftmaxRegressionClassifier(epochs=20).fit(features, labels)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(3))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegressionClassifier(learning_rate=0)
+        with pytest.raises(ValueError):
+            SoftmaxRegressionClassifier(epochs=0)
+
+    def test_predict_batch(self):
+        features, labels = _blobs()
+        model = SoftmaxRegressionClassifier(epochs=50).fit(features, labels)
+        assert len(model.predict_batch(features[:5])) == 5
+
+
+class TestMetrics:
+    def _predictions(self):
+        return [
+            Prediction.from_distribution(["a", "b", "c"], [0.6, 0.3, 0.1]),
+            Prediction.from_distribution(["a", "b", "c"], [0.2, 0.5, 0.3]),
+            Prediction.from_distribution(["a", "b", "c"], [0.1, 0.2, 0.7]),
+        ]
+
+    def test_accuracy(self):
+        assert accuracy(self._predictions(), ["a", "a", "c"]) == pytest.approx(2 / 3)
+
+    def test_top_k_accuracy_grows_with_k(self):
+        predictions = self._predictions()
+        truths = ["c", "a", "b"]
+        curve = top_k_curve(predictions, truths, max_k=3)
+        values = [value for _, value in curve]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy([], [], k=0)
+
+    def test_entropy_of_uniform(self):
+        assert entropy([0.25, 0.25, 0.25, 0.25]) == pytest.approx(np.log(4))
+
+    def test_entropy_of_point_mass(self):
+        assert entropy([1.0, 0.0]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=10))
+    def test_entropy_bounded_by_log_n(self, weights):
+        assert entropy(weights) <= np.log(len(weights)) + 1e-9
+
+
+class TestActiveLearning:
+    def test_training_utility_sums_entropies(self):
+        predictions = {
+            "relation": Prediction.from_distribution(["a", "b"], [0.5, 0.5]),
+            "key": Prediction.from_distribution(["x"], [1.0]),
+        }
+        assert training_utility(predictions) == pytest.approx(np.log(2))
+
+    def test_sampler_ranks_by_utility(self):
+        sampler = UncertaintySampler()
+        ranked = sampler.rank([0.1, 0.9, 0.5], identifiers=["a", "b", "c"])
+        assert ranked == ["b", "c", "a"]
+
+    def test_sampler_select_count(self):
+        sampler = UncertaintySampler()
+        assert sampler.select([0.1, 0.9, 0.5], count=2) == [1, 2]
+
+    def test_mismatched_identifiers_rejected(self):
+        with pytest.raises(ValueError):
+            UncertaintySampler().rank([0.1], identifiers=["a", "b"])

@@ -1,0 +1,145 @@
+"""Tests for query execution over the database corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLError, SQLExecutionError, UnknownRelationError
+from repro.sqlengine.builder import QueryBuilder, QueryTemplate, lookup_query
+from repro.sqlengine.executor import QueryExecutor
+from repro.sqlengine.parser import parse_query
+
+
+@pytest.fixture()
+def executor(ged_database) -> QueryExecutor:
+    return QueryExecutor(ged_database)
+
+
+class TestExecution:
+    def test_simple_lookup(self, executor):
+        result = executor.execute("SELECT a.2017 FROM GED a WHERE a.Index = 'PGElecDemand'")
+        assert result.scalar == 22209.0
+
+    def test_cagr_from_paper_example(self, executor):
+        sql = (
+            "SELECT POWER(a.2017/b.2016, 1/(2017-2016)) - 1 FROM GED a, GED b "
+            "WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'"
+        )
+        assert executor.execute_scalar(sql) == pytest.approx(0.0298, abs=1e-3)
+
+    def test_nine_fold_wind_example(self, executor):
+        sql = (
+            "SELECT a.2017 / b.2000 FROM GED a, GED b "
+            "WHERE a.Index = 'CapAddTotal_Wind' AND b.Index = 'CapAddTotal_Wind'"
+        )
+        assert executor.execute_scalar(sql) == pytest.approx(9.0)
+
+    def test_cross_relation_query(self, executor):
+        sql = (
+            "SELECT a.2017 - b.2017 FROM WEO_Power a, GED b "
+            "WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'"
+        )
+        assert executor.execute_scalar(sql) == pytest.approx(22250.0 - 22209.0)
+
+    def test_disjunction_yields_multiple_values(self, executor):
+        sql = "SELECT a.2017 FROM GED a WHERE (a.Index = 'PGElecDemand' OR a.Index = 'PGINCoal')"
+        result = executor.execute(sql)
+        assert sorted(result.values) == [2390.0, 22209.0]
+        assert result.scalar is None
+
+    def test_no_matching_key_is_empty(self, executor):
+        result = executor.execute("SELECT a.2017 FROM GED a WHERE a.Index = 'Unknown'")
+        assert result.is_empty
+
+    def test_boolean_comparison_result(self, executor):
+        sql = "SELECT a.2017 > 20000 FROM GED a WHERE a.Index = 'PGElecDemand'"
+        assert executor.execute_scalar(sql) == 1.0
+
+    def test_division_by_zero_recorded_as_error(self, ged_database):
+        ged_database.relation("GED").set_value("PGINCoal", "2000", 0)
+        executor = QueryExecutor(ged_database)
+        sql = (
+            "SELECT a.2017 / b.2000 FROM GED a, GED b "
+            "WHERE a.Index = 'PGINCoal' AND b.Index = 'PGINCoal'"
+        )
+        result = executor.execute(sql)
+        assert result.is_empty
+        assert any("zero" in error for error in result.errors)
+
+    def test_unknown_relation_raises(self, executor):
+        with pytest.raises(UnknownRelationError):
+            executor.execute("SELECT a.2017 FROM Missing a WHERE a.Index = 'X'")
+
+    def test_unknown_attribute_is_an_execution_error(self, executor):
+        result = executor.execute("SELECT a.1999 FROM GED a WHERE a.Index = 'PGElecDemand'")
+        assert result.is_empty and result.errors
+
+    def test_execute_scalar_requires_single_value(self, executor):
+        with pytest.raises(SQLExecutionError):
+            executor.execute_scalar(
+                "SELECT a.2017 FROM GED a WHERE (a.Index = 'PGElecDemand' OR a.Index = 'PGINCoal')"
+            )
+
+    def test_binding_limit_enforced(self, ged_database):
+        executor = QueryExecutor(ged_database, max_bindings=2)
+        with pytest.raises(SQLExecutionError):
+            executor.execute("SELECT a.2017 + b.2017 FROM GED a, GED b")
+
+
+class TestQueryBuilder:
+    def test_builder_matches_parsed_query(self, executor):
+        built = (
+            QueryBuilder()
+            .select("a.2017 / b.2016")
+            .from_relation("GED", "a")
+            .from_relation("GED", "b")
+            .where_key("a", "PGElecDemand")
+            .where_key("b", "PGElecDemand")
+            .build()
+        )
+        assert executor.execute_scalar(built) == pytest.approx(22209.0 / 21567.0)
+
+    def test_builder_requires_select(self):
+        with pytest.raises(SQLError):
+            QueryBuilder().from_relation("GED", "a").build()
+
+    def test_builder_requires_from(self):
+        with pytest.raises(SQLError):
+            QueryBuilder().select("a.2017").build()
+
+    def test_builder_rejects_unknown_alias_in_where(self):
+        with pytest.raises(SQLError):
+            QueryBuilder().select("a.2017").from_relation("GED", "a").where_key("b", "X").build()
+
+    def test_lookup_query_helper(self, executor):
+        query = lookup_query("GED", "PGINCoal", "2040")
+        assert executor.execute_scalar(query) == 2353.0
+
+    def test_where_key_disjunction(self, executor):
+        built = (
+            QueryBuilder()
+            .select("a.2017")
+            .from_relation("GED", "a")
+            .where_key("a", "PGElecDemand", "PGINCoal")
+            .build()
+        )
+        assert len(executor.execute(built).values) == 2
+
+
+class TestQueryTemplate:
+    def test_fill_replaces_placeholders(self):
+        template = QueryTemplate("SELECT a.{year} FROM {rel} a WHERE a.Index = '{key}'")
+        sql = template.fill(year="2017", rel="GED", key="PGElecDemand")
+        assert parse_query(sql).relation_names() == ("GED",)
+
+    def test_missing_placeholder_raises(self):
+        with pytest.raises(SQLError):
+            QueryTemplate("SELECT a.{year} FROM GED a").fill()
+
+    def test_extra_placeholder_raises(self):
+        with pytest.raises(SQLError):
+            QueryTemplate("SELECT a.2017 FROM GED a").fill(year="2017")
+
+    def test_placeholder_names_deduplicated(self):
+        template = QueryTemplate("{rel} {rel} {key}")
+        assert template.placeholder_names() == ["rel", "key"]

@@ -1,0 +1,122 @@
+"""Tests for the SQL function library F."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SQLExecutionError, UnknownFunctionError
+from repro.sqlengine.functions import FUNCTION_LIBRARY, FunctionLibrary, SQLFunction
+
+
+class TestBasicFunctions:
+    def test_power(self):
+        assert FUNCTION_LIBRARY.call("POWER", [2, 10]) == 1024
+
+    def test_power_case_insensitive(self):
+        assert FUNCTION_LIBRARY.call("power", [3, 2]) == 9
+
+    def test_abs(self):
+        assert FUNCTION_LIBRARY.call("ABS", [-4.5]) == 4.5
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(SQLExecutionError):
+            FUNCTION_LIBRARY.call("SQRT", [-1])
+
+    def test_ln_of_e(self):
+        assert FUNCTION_LIBRARY.call("LN", [math.e]) == pytest.approx(1.0)
+
+    def test_round_two_arguments(self):
+        assert FUNCTION_LIBRARY.call("ROUND", [3.14159, 2]) == 3.14
+
+    def test_round_single_argument(self):
+        assert FUNCTION_LIBRARY.call("ROUND", [3.7]) == 4.0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            FUNCTION_LIBRARY.call("FOO", [1])
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(SQLExecutionError):
+            FUNCTION_LIBRARY.call("POWER", [2])
+
+
+class TestAggregates:
+    def test_sum_flattens_lists(self):
+        assert FUNCTION_LIBRARY.call("SUM", [[1, 2], 3]) == 6
+
+    def test_avg(self):
+        assert FUNCTION_LIBRARY.call("AVG", [2, 4, 6]) == 4
+
+    def test_avg_empty_raises(self):
+        with pytest.raises(SQLExecutionError):
+            FUNCTION_LIBRARY.call("AVG", [])
+
+    def test_min_max_count(self):
+        assert FUNCTION_LIBRARY.call("MIN", [3, 1, 2]) == 1
+        assert FUNCTION_LIBRARY.call("MAX", [3, 1, 2]) == 3
+        assert FUNCTION_LIBRARY.call("COUNT", [3, 1, 2]) == 3
+
+    def test_aggregate_skips_none(self):
+        assert FUNCTION_LIBRARY.call("SUM", [1, None, 2]) == 3
+
+
+class TestStatisticalFunctions:
+    def test_cagr_matches_paper_example(self):
+        # One-year growth from 21 567 to 22 209 is about 3%.
+        value = FUNCTION_LIBRARY.call("CAGR", [22209, 21567, 1])
+        assert value == pytest.approx(0.0298, abs=1e-3)
+
+    def test_cagr_zero_years_raises(self):
+        with pytest.raises(SQLExecutionError):
+            FUNCTION_LIBRARY.call("CAGR", [2, 1, 0])
+
+    def test_pct_change(self):
+        assert FUNCTION_LIBRARY.call("PCT_CHANGE", [110, 100]) == pytest.approx(0.10)
+
+    def test_fold(self):
+        assert FUNCTION_LIBRARY.call("FOLD", [180, 20]) == 9
+
+    def test_share(self):
+        assert FUNCTION_LIBRARY.call("SHARE", [25, 100]) == 0.25
+
+    def test_ratio_division_by_zero(self):
+        with pytest.raises(SQLExecutionError):
+            FUNCTION_LIBRARY.call("RATIO", [1, 0])
+
+    def test_diff(self):
+        assert FUNCTION_LIBRARY.call("DIFF", [10, 4]) == 6
+
+    @given(st.floats(min_value=1.0, max_value=1e6), st.floats(min_value=1.0, max_value=1e6))
+    def test_fold_and_ratio_agree(self, end, start):
+        assert FUNCTION_LIBRARY.call("FOLD", [end, start]) == pytest.approx(
+            FUNCTION_LIBRARY.call("RATIO", [end, start])
+        )
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=1.0, max_value=1e6),
+        st.integers(min_value=1, max_value=30),
+    )
+    def test_cagr_inverts_compounding(self, start, end, years):
+        rate = FUNCTION_LIBRARY.call("CAGR", [end, start, years])
+        assert start * (1 + rate) ** years == pytest.approx(end, rel=1e-6)
+
+
+class TestLibraryRegistry:
+    def test_library_is_extensible(self):
+        library = FUNCTION_LIBRARY.copy()
+        library.register(SQLFunction("DOUBLE", lambda args: 2 * float(args[0]), 1))
+        assert library.call("DOUBLE", [21]) == 42
+        assert "DOUBLE" not in FUNCTION_LIBRARY
+
+    def test_names_sorted(self):
+        names = FUNCTION_LIBRARY.names()
+        assert names == sorted(names)
+        assert "CAGR" in names
+
+    def test_contains(self):
+        assert "power" in FUNCTION_LIBRARY
+        assert "nope" not in FUNCTION_LIBRARY

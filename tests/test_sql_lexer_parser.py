@@ -1,0 +1,139 @@
+"""Tests for the SQL lexer and parser of the statistical-check fragment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine.ast import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    NumberLiteral,
+    column_refs,
+    function_names,
+)
+from repro.sqlengine.lexer import TokenType, tokenize
+from repro.sqlengine.parser import parse_expression, parse_query
+
+CAGR_SQL = (
+    "SELECT POWER(a.2017/b.2016,1/(2017-2016)) -1 "
+    "FROM GED a, GED b "
+    "WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'"
+)
+
+
+class TestLexer:
+    def test_tokenizes_keywords_case_insensitively(self):
+        tokens = tokenize("select x.y from T x")
+        assert tokens[0].matches_keyword("SELECT")
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers_and_operators(self):
+        tokens = tokenize("1.5 + 2")
+        assert [token.type for token in tokens[:3]] == [
+            TokenType.NUMBER,
+            TokenType.OPERATOR,
+            TokenType.NUMBER,
+        ]
+
+    def test_comparison_operators(self):
+        values = [token.value for token in tokenize("a.x >= 3") if token.type is TokenType.COMPARISON]
+        assert values == [">="]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('a."2017"')
+        assert tokens[2].type is TokenType.IDENTIFIER
+        assert tokens[2].value == "2017"
+
+
+class TestParseQuery:
+    def test_cagr_example_from_paper(self):
+        query = parse_query(CAGR_SQL)
+        assert query.relation_names() == ("GED", "GED")
+        assert query.aliases() == ("a", "b")
+        assert "POWER" in function_names(query.select)
+        refs = column_refs(query.select)
+        assert ColumnRef("a", "2017") in refs
+        assert ColumnRef("b", "2016") in refs
+
+    def test_where_disjunction(self):
+        query = parse_query(
+            "SELECT a.2017 FROM GED a WHERE (a.Index = 'X' OR a.Index = 'Y')"
+        )
+        assert query.where[0].values == ("X", "Y")
+
+    def test_comma_conjunction_like_paper_rendering(self):
+        query = parse_query(
+            "SELECT a.2017 / b.2000 FROM GED a, GED b "
+            "WHERE a.Index = 'CapAddTotal_Wind', b.Index = 'CapAddTotal_Wind'"
+        )
+        assert len(query.where) == 2
+
+    def test_missing_from_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT a.2017 WHERE a.Index = 'X'")
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT a.2017 FROM GED a, WEO a")
+
+    def test_bare_identifier_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT demand FROM GED a")
+
+    def test_boolean_select(self):
+        query = parse_query("SELECT a.2017 > 100 FROM GED a WHERE a.Index = 'X'")
+        assert isinstance(query.select, Comparison)
+
+    def test_round_trip_render_parse(self):
+        query = parse_query(CAGR_SQL)
+        rendered = query.render()
+        reparsed = parse_query(rendered)
+        assert reparsed.render() == rendered
+
+    def test_complexity_counts_elements(self):
+        query = parse_query(CAGR_SQL)
+        # 2 key predicates + 2 column refs + 4 constants + 5 operations
+        assert query.complexity() == 13
+
+    def test_alias_defaults_to_relation_name(self):
+        query = parse_query("SELECT GED.2017 FROM GED WHERE GED.Index = 'X'")
+        assert query.aliases() == ("GED",)
+
+
+class TestParseExpression:
+    def test_precedence_of_product_over_sum(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert isinstance(expression, BinaryOp)
+        assert expression.operator == "+"
+        assert isinstance(expression.right, BinaryOp)
+
+    def test_nested_function_calls(self):
+        expression = parse_expression("ROUND(ABS(a.2017), 2)")
+        assert isinstance(expression, FunctionCall)
+        assert function_names(expression) == ["ROUND", "ABS"]
+
+    def test_unary_minus(self):
+        expression = parse_expression("-a.2017 + 5")
+        assert isinstance(expression, BinaryOp)
+
+    def test_number_literal_renders_as_integer(self):
+        assert NumberLiteral(3.0).render() == "3"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("1 + 2 extra")

@@ -1,0 +1,291 @@
+"""Tests for claim preprocessing, the classifier suite and query generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.claims.model import Claim, ClaimProperty
+from repro.config import TranslationConfig
+from repro.errors import NotFittedError, TranslationError
+from repro.formulas.parser import parse_formula
+from repro.translation.classifiers import PropertyClassifierSuite, SuiteConfig, TrainingExample
+from repro.translation.preprocess import ClaimPreprocessor
+from repro.translation.querygen import QueryGenerator
+from repro.translation.translator import ClaimTranslator
+
+
+def _claim(claim_id: str, text: str, explicit: bool = True, parameter: float | None = 0.03) -> Claim:
+    return Claim(
+        claim_id=claim_id,
+        text=text,
+        sentence_text=text + " Policy settings continue to evolve.",
+        section_id="sec1",
+        is_explicit=explicit,
+        parameter=parameter if explicit else None,
+    )
+
+
+class TestPreprocessor:
+    def test_fit_and_preprocess(self):
+        claims = [
+            _claim("c1", "electricity demand grew by 3% in 2017"),
+            _claim("c2", "coal supply fell by 2% in 2016"),
+        ]
+        preprocessor = ClaimPreprocessor().fit(claims)
+        processed = preprocessor.preprocess(claims[0])
+        assert processed.features.shape[0] == preprocessor.featurizer.dimension
+        assert processed.parameter == pytest.approx(0.03)
+
+    def test_extracted_parameter_used_for_general_claims(self):
+        claims = [_claim("c1", "demand grew by 4% in 2017", explicit=False)]
+        preprocessor = ClaimPreprocessor().fit(claims)
+        processed = preprocessor.preprocess(claims[0])
+        assert processed.extracted_parameter == pytest.approx(0.04)
+
+    def test_feature_matrix_shape(self):
+        claims = [_claim("c1", "demand grew"), _claim("c2", "supply fell")]
+        preprocessor = ClaimPreprocessor().fit(claims)
+        assert preprocessor.feature_matrix(claims).shape[0] == 2
+
+
+class TestClassifierSuite:
+    def _examples(self, count: int = 12) -> list[TrainingExample]:
+        examples = []
+        for index in range(count):
+            if index % 2 == 0:
+                claim = _claim(f"c{index}", f"electricity demand grew by 3% in 201{index % 8}")
+                labels = {
+                    ClaimProperty.RELATION: "GED",
+                    ClaimProperty.KEY: "PGElecDemand",
+                    ClaimProperty.ATTRIBUTE: "2017",
+                    ClaimProperty.FORMULA: "((a / b) - 1)",
+                }
+            else:
+                claim = _claim(f"c{index}", f"coal supply reached 2 390 Mtoe in 201{index % 8}")
+                labels = {
+                    ClaimProperty.RELATION: "WEO_Power",
+                    ClaimProperty.KEY: "PGINCoal",
+                    ClaimProperty.ATTRIBUTE: "2016",
+                    ClaimProperty.FORMULA: "a",
+                }
+            examples.append(TrainingExample(claim=claim, labels=labels))
+        return examples
+
+    def _suite(self) -> PropertyClassifierSuite:
+        examples = self._examples()
+        preprocessor = ClaimPreprocessor().fit([example.claim for example in examples])
+        suite = PropertyClassifierSuite(preprocessor, SuiteConfig(parametric_threshold=100))
+        suite.fit(examples)
+        return suite
+
+    def test_predict_all_properties(self):
+        suite = self._suite()
+        predictions = suite.predict(_claim("q", "electricity demand grew by 2% in 2016"))
+        assert set(predictions) == set(ClaimProperty.ordered())
+        assert predictions[ClaimProperty.KEY].top_label in {"PGElecDemand", "PGINCoal"}
+
+    def test_learns_separable_texts(self):
+        suite = self._suite()
+        prediction = suite.predict_property(
+            _claim("q", "electricity demand grew by 2% in 2016"), ClaimProperty.KEY
+        )
+        assert prediction.top_label == "PGElecDemand"
+
+    def test_untrained_predict_raises(self):
+        preprocessor = ClaimPreprocessor().fit([_claim("c", "x demand")])
+        suite = PropertyClassifierSuite(preprocessor)
+        with pytest.raises(NotFittedError):
+            suite.predict(_claim("q", "demand"))
+
+    def test_retrain_adds_examples(self):
+        suite = self._suite()
+        before = suite.example_count
+        suite.retrain(self._examples(2))
+        assert suite.example_count == before + 2
+        assert suite.retrain_count == 2
+
+    def test_fit_without_examples_raises(self):
+        preprocessor = ClaimPreprocessor().fit([_claim("c", "demand")])
+        with pytest.raises(TranslationError):
+            PropertyClassifierSuite(preprocessor).fit([])
+
+    def test_evaluate_accuracy_bounds(self):
+        suite = self._suite()
+        examples = self._examples(4)
+        claims = [example.claim for example in examples]
+        from repro.claims.model import ClaimGroundTruth
+
+        truths = [
+            ClaimGroundTruth(
+                claim_id=example.claim.claim_id,
+                relations=(example.labels[ClaimProperty.RELATION],),
+                keys=(example.labels[ClaimProperty.KEY],),
+                attributes=(example.labels[ClaimProperty.ATTRIBUTE],),
+                formula_label=example.labels[ClaimProperty.FORMULA],
+            )
+            for example in examples
+        ]
+        scores = suite.evaluate_accuracy(claims, truths)
+        assert all(0.0 <= score <= 1.0 for score in scores.values())
+        assert 0.0 <= suite.average_accuracy(claims, truths) <= 1.0
+
+
+class TestQueryGenerator:
+    def test_explicit_claim_match_found(self, ged_database):
+        generator = QueryGenerator(ged_database, TranslationConfig(admissible_error=0.05))
+        result = generator.generate(
+            relations=["GED"],
+            keys=["PGElecDemand"],
+            attributes=["2017", "2016"],
+            formulas=[parse_formula("POWER(a / b, 1 / (A1 - A2)) - 1")],
+            parameter=0.03,
+        )
+        assert result.has_match
+        best = result.best
+        assert best.matches_parameter
+        assert best.value == pytest.approx(0.0298, abs=1e-3)
+        assert "POWER" in best.sql
+
+    def test_false_claim_yields_alternatives_only(self, ged_database):
+        generator = QueryGenerator(ged_database)
+        result = generator.generate(
+            relations=["GED"],
+            keys=["PGElecDemand"],
+            attributes=["2017", "2016"],
+            formulas=[parse_formula("POWER(a / b, 1 / (A1 - A2)) - 1")],
+            parameter=0.025,
+        )
+        assert not result.has_match
+        assert result.alternatives
+        assert any(value == pytest.approx(0.0298, abs=1e-3) for value in result.suggested_values())
+
+    def test_general_claim_produces_alternatives(self, ged_database):
+        generator = QueryGenerator(ged_database)
+        result = generator.generate(
+            relations=["GED"],
+            keys=["CapAddTotal_Wind"],
+            attributes=["2017", "2000"],
+            formulas=[parse_formula("a / b")],
+            parameter=None,
+        )
+        assert result.alternatives
+        assert result.best is not None
+
+    def test_nine_fold_example(self, ged_database):
+        generator = QueryGenerator(ged_database)
+        result = generator.generate(
+            relations=["GED"],
+            keys=["CapAddTotal_Wind"],
+            attributes=["2017", "2000"],
+            formulas=[parse_formula("a / b")],
+            parameter=9.0,
+        )
+        assert result.has_match
+
+    def test_unknown_context_is_empty(self, ged_database):
+        generator = QueryGenerator(ged_database)
+        result = generator.generate(
+            relations=["Missing"],
+            keys=["Nope"],
+            attributes=["1999"],
+            formulas=[parse_formula("a")],
+            parameter=1.0,
+        )
+        assert not result.has_match and not result.alternatives
+
+    def test_permutation_cap_truncates(self, ged_database):
+        generator = QueryGenerator(ged_database, TranslationConfig(max_permutations=3))
+        result = generator.generate(
+            relations=["GED"],
+            keys=["PGElecDemand", "PGINCoal", "TFCelec"],
+            attributes=["2017", "2016", "2000"],
+            formulas=[parse_formula("a / b")],
+            parameter=None,
+        )
+        assert result.truncated
+        assert result.assignments_tried <= 4
+
+
+class TestClaimTranslator:
+    def _translator(self, ged_database) -> ClaimTranslator:
+        translator = ClaimTranslator(ged_database)
+        claims = []
+        truths = []
+        from repro.claims.model import ClaimGroundTruth
+
+        for index in range(12):
+            if index % 2 == 0:
+                claims.append(_claim(f"c{index}", "electricity demand grew by 3% in 2017"))
+                truths.append(
+                    ClaimGroundTruth(
+                        claim_id=f"c{index}",
+                        relations=("GED",),
+                        keys=("PGElecDemand",),
+                        attributes=("2017", "2016"),
+                        formula_label="(POWER((a / b), (1 / (A1 - A2))) - 1)",
+                    )
+                )
+            else:
+                claims.append(_claim(f"c{index}", "wind capacity increased nine-fold from 2000 to 2017", parameter=9.0))
+                truths.append(
+                    ClaimGroundTruth(
+                        claim_id=f"c{index}",
+                        relations=("GED",),
+                        keys=("CapAddTotal_Wind",),
+                        attributes=("2017", "2000"),
+                        formula_label="(a / b)",
+                    )
+                )
+        translator.bootstrap(claims, truths)
+        return translator
+
+    def test_bootstrap_and_predict(self, ged_database):
+        translator = self._translator(ged_database)
+        assert translator.is_trained
+        predictions = translator.predict(_claim("q", "electricity demand grew by 3% in 2017"))
+        assert predictions[ClaimProperty.KEY].top_label in {"PGElecDemand", "CapAddTotal_Wind"}
+
+    def test_translate_with_validated_context(self, ged_database):
+        translator = self._translator(ged_database)
+        claim = _claim("q", "electricity demand grew by 3% in 2017")
+        result = translator.translate(
+            claim,
+            validated_context={
+                ClaimProperty.RELATION: ["GED"],
+                ClaimProperty.KEY: ["PGElecDemand"],
+                ClaimProperty.ATTRIBUTE: ["2017", "2016"],
+            },
+        )
+        assert result.verdict is True
+        assert result.best_sql is not None
+
+    def test_translate_detects_false_claim(self, ged_database):
+        translator = self._translator(ged_database)
+        claim = _claim("q", "electricity demand grew by 9% in 2017", parameter=0.09)
+        result = translator.translate(
+            claim,
+            validated_context={
+                ClaimProperty.RELATION: ["GED"],
+                ClaimProperty.KEY: ["PGElecDemand"],
+                ClaimProperty.ATTRIBUTE: ["2017", "2016"],
+            },
+        )
+        assert result.verdict is False
+        assert result.suggested_values
+
+    def test_general_claim_has_no_automatic_verdict(self, ged_database):
+        translator = self._translator(ged_database)
+        claim = _claim("q", "wind capacity expanded aggressively", explicit=False)
+        result = translator.translate(claim)
+        assert result.verdict is None
+
+    def test_bootstrap_requires_claims(self, ged_database):
+        with pytest.raises(TranslationError):
+            ClaimTranslator(ged_database).bootstrap([])
+
+    def test_candidate_labels_limit(self, ged_database):
+        translator = self._translator(ged_database)
+        labels = translator.candidate_labels(
+            _claim("q", "electricity demand grew"), ClaimProperty.KEY, top_k=1
+        )
+        assert len(labels) == 1
