@@ -1,0 +1,25 @@
+# Development entry points. `make check` is what CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench lint check
+
+# Tier-1 verification: the full unit + benchmark suite, fail-fast.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Benchmarks only (pytest-benchmark timings for the paper's tables/figures).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+# Bytecode-compile every tree; uses ruff additionally when installed.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; compileall only"; \
+	fi
+
+check: lint test

@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import sys
 
+from repro import ScrutinizerBuilder
 from repro.config import BatchingConfig, ScrutinizerConfig
 from repro.core.baselines import ManualBaseline
-from repro.core.scrutinizer import Scrutinizer
 from repro.synth.energy_data import EnergyDataConfig
 from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
 
@@ -49,7 +49,17 @@ def main(claim_count: int = 150) -> None:
           f"({manual_report.total_weeks:.3f} team-weeks)")
 
     print("Running Scrutinizer (cold start) ...")
-    system = Scrutinizer(corpus, config=system_config)
+    system = (
+        ScrutinizerBuilder(corpus)
+        .with_config(system_config)
+        .on_batch_complete(
+            lambda batch: print(
+                f"  batch {batch.batch_index}: {batch.batch_size} claims, "
+                f"{batch.pending_after} pending, solver={batch.solver}"
+            )
+        )
+        .build()
+    )
     report = system.verify()
     print(f"  total effort: {report.total_seconds / 3600:.1f} checker-hours "
           f"({report.total_weeks:.3f} team-weeks)")

@@ -1,7 +1,28 @@
 """Reproduction of the Scrutinizer claim-verification system (VLDB 2020).
 
-The package is organised around the two contributions of the paper plus the
-substrates they need:
+The front door is the verification-service API in :mod:`repro.api`::
+
+    from repro import ScrutinizerBuilder
+
+    service = ScrutinizerBuilder(corpus).build_service()
+    service.submit()                      # enqueue claims (all, or a subset)
+    for verification in service.iter_results():
+        print(verification.claim_id, verification.verdict)
+    report = service.report               # aggregate effort and accuracy
+    payload = report.to_json()            # ship across process boundaries
+
+Every stage of the loop is a swappable protocol
+(:class:`~repro.api.protocols.Checker`,
+:class:`~repro.api.protocols.AnswerSource`,
+:class:`~repro.api.protocols.TranslationBackend`,
+:class:`~repro.api.protocols.BatchSelector`): the builder wires in custom
+implementations — a real checker UI instead of the simulated crowd, a
+different learner, a different claim-ordering policy — without touching the
+loop.  The classic one-shot facade, :class:`~repro.core.scrutinizer.Scrutinizer`,
+remains available via ``ScrutinizerBuilder(...).build()`` or direct
+construction; see ``docs/api.md`` for the full tour.
+
+The substrates, mirroring the paper's structure:
 
 * :mod:`repro.dataset` and :mod:`repro.sqlengine` — an in-memory relational
   store and an executor for the statistical-check SQL fragment the paper
@@ -18,30 +39,39 @@ substrates they need:
   (Algorithm 1) and the full-report simulator used in Section 6.2.
 * :mod:`repro.synth` — a synthetic substitute for the proprietary IEA corpus.
 * :mod:`repro.experiments` — one entry point per table/figure of the paper.
-
-The most convenient entry points are re-exported here.
 """
 
+from repro.api.builder import ScrutinizerBuilder
+from repro.api.protocols import AnswerSource, BatchSelector, Checker, TranslationBackend
+from repro.api.service import BatchResult, VerificationService
 from repro.claims.model import Claim, ClaimProperty, ComparisonOp
-from repro.core.report import VerificationReport
+from repro.core.report import ClaimVerification, VerificationReport
 from repro.core.scrutinizer import Scrutinizer
 from repro.dataset.database import Database
 from repro.dataset.relation import Relation
 from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
 from repro.translation.translator import ClaimTranslator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnswerSource",
+    "BatchResult",
+    "BatchSelector",
+    "Checker",
     "Claim",
     "ClaimProperty",
     "ClaimTranslator",
+    "ClaimVerification",
     "ComparisonOp",
     "Database",
     "Relation",
     "Scrutinizer",
+    "ScrutinizerBuilder",
     "SyntheticCorpusConfig",
+    "TranslationBackend",
     "VerificationReport",
+    "VerificationService",
     "generate_corpus",
     "__version__",
 ]

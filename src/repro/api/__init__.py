@@ -1,0 +1,46 @@
+"""Public verification-service API: protocols, builder, streaming service.
+
+This package is the front door for embedding the Scrutinizer loop:
+
+* :mod:`repro.api.protocols` — the structural extension points
+  (:class:`Checker`, :class:`AnswerSource`, :class:`TranslationBackend`,
+  :class:`BatchSelector`).
+* :mod:`repro.api.builder` — :class:`ScrutinizerBuilder`, fluent
+  construction with pluggable backends.
+* :mod:`repro.api.service` — :class:`VerificationService`, the incremental
+  engine (``submit`` / ``run_batch`` / ``iter_results`` / callbacks).
+* :mod:`repro.api.serialization` — JSON interchange for reports.
+"""
+
+from repro.api.builder import ScrutinizerBuilder
+from repro.api.protocols import AnswerSource, BatchSelector, Checker, TranslationBackend
+from repro.api.serialization import (
+    read_report,
+    report_from_dict,
+    report_from_json,
+    report_to_dict,
+    report_to_json,
+    verification_from_dict,
+    verification_to_dict,
+    write_report,
+)
+from repro.api.service import BatchResult, ProgressCallback, VerificationService
+
+__all__ = [
+    "AnswerSource",
+    "BatchResult",
+    "BatchSelector",
+    "Checker",
+    "ProgressCallback",
+    "ScrutinizerBuilder",
+    "TranslationBackend",
+    "VerificationService",
+    "read_report",
+    "report_from_dict",
+    "report_from_json",
+    "report_to_dict",
+    "report_to_json",
+    "verification_from_dict",
+    "verification_to_dict",
+    "write_report",
+]

@@ -1,0 +1,501 @@
+"""The verification service: Algorithm 1 as an incremental, pluggable engine.
+
+:class:`VerificationService` owns the long-lived components of the system —
+corpus, translation backend, checkers, answer source, planner — and exposes
+the main loop one step at a time:
+
+* :meth:`~VerificationService.submit` enqueues claims (incrementally, at
+  any point of a run),
+* :meth:`~VerificationService.run_batch` executes one iteration of
+  Algorithm 1 and returns a :class:`BatchResult`,
+* :meth:`~VerificationService.iter_results` streams per-claim
+  :class:`~repro.core.report.ClaimVerification` objects as they are decided,
+* :meth:`~VerificationService.on_batch_complete` registers progress
+  callbacks, and
+* :meth:`~VerificationService.run_to_completion` drives the loop to the end
+  and returns the :class:`~repro.core.report.VerificationReport`.
+
+:class:`~repro.core.scrutinizer.Scrutinizer` is now a thin facade over this
+service; experiments that previously re-ran the whole loop to observe
+intermediate state can instead step it batch by batch.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.protocols import AnswerSource, BatchSelector, Checker, TranslationBackend
+from repro.claims.corpus import ClaimCorpus
+from repro.claims.model import Claim, ClaimProperty
+from repro.config import ScrutinizerConfig
+from repro.core.report import ClaimVerification, VerificationReport
+from repro.core.session import BatchRecord, VerificationSession
+from repro.crowd.oracle import GroundTruthOracle
+from repro.crowd.timing import TimingModel
+from repro.crowd.voting import majority_vote
+from repro.crowd.worker import CheckerResponse, SimulatedChecker
+from repro.errors import ClaimError, SimulationError
+from repro.ml.base import Prediction
+from repro.planning.batching import BatchCandidate
+from repro.planning.planner import QuestionPlanner
+from repro.translation.translator import ClaimTranslator
+
+__all__ = ["BatchResult", "ProgressCallback", "VerificationService"]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one iteration of the main loop (one claim batch)."""
+
+    batch_index: int
+    claim_ids: tuple[str, ...]
+    verifications: tuple[ClaimVerification, ...]
+    #: Crowd time spent on this batch, in (simulated) seconds.
+    seconds_spent: float
+    #: Machine time spent planning and retraining, in wall-clock seconds.
+    planning_seconds: float
+    #: Classifier accuracy on the still-pending claims, keyed by series
+    #: name; empty when tracking is off or no claims remain.
+    accuracy_by_property: dict[str, float]
+    #: Which strategy selected the batch ("milp", "greedy", "sequential").
+    solver: str
+    #: Number of claims still pending after this batch.
+    pending_after: int
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.claim_ids)
+
+
+ProgressCallback = Callable[[BatchResult], None]
+
+
+class VerificationService:
+    """Incremental claim-verification engine with pluggable backends.
+
+    Parameters
+    ----------
+    corpus:
+        The annotated claim corpus (document, claims, ground truth, data).
+    config:
+        System configuration; ``config.claim_ordering=False`` yields the
+        *Sequential* baseline.
+    translator:
+        Any :class:`~repro.api.protocols.TranslationBackend`; defaults to a
+        fresh :class:`~repro.translation.translator.ClaimTranslator` fitted
+        on the corpus texts.
+    checkers:
+        Any sequence of :class:`~repro.api.protocols.Checker`; defaults to
+        ``config.checker_count`` simulated checkers with distinct seeds.
+    answer_source:
+        Any :class:`~repro.api.protocols.AnswerSource`; defaults to the
+        ground-truth oracle over the corpus.
+    planner:
+        The question planner building per-claim screen sequences.
+    batch_selector:
+        Any :class:`~repro.api.protocols.BatchSelector`; defaults to the
+        planner itself (ILP-based claim ordering).
+    """
+
+    def __init__(
+        self,
+        corpus: ClaimCorpus,
+        config: ScrutinizerConfig | None = None,
+        *,
+        translator: TranslationBackend | None = None,
+        checkers: Sequence[Checker] | None = None,
+        answer_source: AnswerSource | None = None,
+        planner: QuestionPlanner | None = None,
+        batch_selector: BatchSelector | None = None,
+        accuracy_sample_size: int = 60,
+        system_name: str | None = None,
+    ) -> None:
+        self.corpus = corpus
+        self.config = config if config is not None else ScrutinizerConfig()
+        self.planner = planner if planner is not None else QuestionPlanner(self.config)
+        self.batch_selector: BatchSelector = (
+            batch_selector if batch_selector is not None else self.planner
+        )
+        self.answer_source: AnswerSource = (
+            answer_source
+            if answer_source is not None
+            else GroundTruthOracle(corpus, value_tolerance=0.05)
+        )
+        self._timing = TimingModel(cost_model=self.config.cost_model, seed=self.config.seed)
+        self._accuracy_sample_size = accuracy_sample_size
+        self._rng = np.random.default_rng(self.config.seed)
+        if translator is not None:
+            self.translator: TranslationBackend = translator
+        else:
+            self.translator = ClaimTranslator(corpus.database, config=self.config.translation)
+            claims = [annotated.claim for annotated in corpus]
+            self.translator.bootstrap(claims, fit_features_only=True)
+        if checkers is not None:
+            self.checkers: list[Checker] = list(checkers)
+        else:
+            self.checkers = [
+                SimulatedChecker(
+                    checker_id=f"S{index + 1}",
+                    oracle=self.answer_source,
+                    timing=self._timing,
+                    seed=self.config.seed + index,
+                )
+                for index in range(self.config.checker_count)
+            ]
+        if not self.checkers:
+            raise SimulationError("the verification service needs at least one checker")
+        self._system_name = (
+            system_name
+            if system_name is not None
+            else ("Scrutinizer" if self.config.claim_ordering else "Sequential")
+        )
+        self._document_order = list(corpus.document.claim_ids)
+        self._section_read_costs = {
+            section.section_id: section.read_cost
+            for section in corpus.document.sections
+        }
+        self._callbacks: list[ProgressCallback] = []
+        self._session: VerificationSession | None = None
+        self._report: VerificationReport | None = None
+        self._batch_index = 0
+        self._track_accuracy = True
+
+    # ------------------------------------------------------------------ #
+    # run state
+    # ------------------------------------------------------------------ #
+    @property
+    def session(self) -> VerificationSession | None:
+        """The state of the current run (``None`` before the first submit)."""
+        return self._session
+
+    @property
+    def report(self) -> VerificationReport:
+        """The report accumulated so far in the current run."""
+        if self._report is None:
+            self._report = VerificationReport(
+                system_name=self._system_name, checker_count=self.config.checker_count
+            )
+        return self._report
+
+    @property
+    def batches_run(self) -> int:
+        return self._batch_index
+
+    @property
+    def pending_count(self) -> int:
+        return self._session.pending_count if self._session is not None else 0
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every submitted claim has been verified."""
+        return self._session is None or self._session.is_complete
+
+    def reset(
+        self, system_name: str | None = None, track_accuracy: bool = True
+    ) -> "VerificationService":
+        """Start a new run: fresh session and report, components retained.
+
+        The translation backend keeps its trained state, so successive runs
+        model successive report editions (warm start).  Registered progress
+        callbacks also survive a reset.
+        """
+        if system_name is not None:
+            self._system_name = system_name
+        self._session = None
+        self._report = None
+        self._batch_index = 0
+        self._track_accuracy = track_accuracy
+        return self
+
+    def on_batch_complete(self, callback: ProgressCallback) -> "VerificationService":
+        """Register a callback invoked with each :class:`BatchResult`."""
+        self._callbacks.append(callback)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # incremental verification
+    # ------------------------------------------------------------------ #
+    def submit(self, claim_ids: Sequence[str] | None = None) -> "VerificationService":
+        """Enqueue claims for verification (defaults to the whole corpus).
+
+        May be called repeatedly, including between batches: newly submitted
+        claims join the pending pool considered by the next batch selection.
+        Claims already verified in this run are ignored, and an explicitly
+        empty submission is a no-op (the run simply stays complete).
+        Unknown claim ids are rejected here, before any batch work starts.
+        """
+        ids = list(claim_ids) if claim_ids is not None else list(self.corpus.claim_ids)
+        unknown = [claim_id for claim_id in ids if claim_id not in self.corpus]
+        if unknown:
+            raise ClaimError(f"unknown claims submitted: {unknown[:5]!r}")
+        if not ids:
+            return self
+        if self._session is None:
+            self._session = VerificationSession(ids)
+        else:
+            self._session.submit(ids)
+        return self
+
+    def run_batch(self) -> BatchResult | None:
+        """Run one iteration of Algorithm 1; ``None`` when nothing is pending.
+
+        One iteration selects the next claim batch, plans and collects the
+        crowd's answers for every claim in it, retrains the classifiers on
+        the newly verified claims, and measures classifier accuracy on the
+        claims still pending.
+        """
+        session = self._session
+        if session is None or session.is_complete:
+            return None
+        report = self.report
+        self._batch_index += 1
+        planning_started = time.perf_counter()
+        pending = session.pending_claim_ids
+        predictions_by_claim = self._predict_pending(pending)
+        candidates = self._batch_candidates(pending, predictions_by_claim)
+        selection = self.batch_selector.plan_batch(
+            candidates, self._section_read_costs, document_order=self._document_order
+        )
+        planning_seconds = time.perf_counter() - planning_started
+        report.computation_seconds += planning_seconds
+
+        batch_seconds = 0.0
+        verified_claims: list[Claim] = []
+        verifications: list[ClaimVerification] = []
+        for position, claim_id in enumerate(selection.claim_ids):
+            claim = self.corpus.claim(claim_id)
+            predictions = predictions_by_claim.get(claim_id)
+            verification = self._verify_claim(
+                claim, predictions, position, self._batch_index
+            )
+            session.mark_verified(verification)
+            report.add(verification)
+            verifications.append(verification)
+            batch_seconds += verification.elapsed_seconds
+            verified_claims.append(claim)
+
+        retrain_started = time.perf_counter()
+        self._retrain(verified_claims)
+        retrain_seconds = time.perf_counter() - retrain_started
+        report.computation_seconds += retrain_seconds
+        planning_seconds += retrain_seconds
+
+        accuracy: dict[str, float] = {}
+        # Accuracy is measured on the still-pending claims; once the run is
+        # complete there is no held-out sample left, so nothing is recorded
+        # (an all-zero entry here would be a measurement artifact).
+        if self._track_accuracy and not session.is_complete:
+            accuracy = self._evaluate_accuracy(session.pending_claim_ids)
+            report.accuracy_history.append(accuracy)
+        # The record and result each get their own copy: the history entry
+        # appended to the report must not be reachable through a callback's
+        # BatchResult (or the session's record), where a consumer could
+        # mutate it.
+        session.record_batch(
+            BatchRecord(
+                batch_index=self._batch_index,
+                claim_ids=selection.claim_ids,
+                seconds_spent=batch_seconds,
+                accuracy_by_property=dict(accuracy),
+                solver=selection.solver,
+            )
+        )
+        result = BatchResult(
+            batch_index=self._batch_index,
+            claim_ids=selection.claim_ids,
+            verifications=tuple(verifications),
+            seconds_spent=batch_seconds,
+            planning_seconds=planning_seconds,
+            accuracy_by_property=dict(accuracy),
+            solver=selection.solver,
+            pending_after=session.pending_count,
+        )
+        for callback in self._callbacks:
+            callback(result)
+        return result
+
+    def iter_results(self) -> Iterator[ClaimVerification]:
+        """Stream per-claim verifications, driving batches as needed.
+
+        Yields every verification of each batch as soon as the batch
+        completes, until no submitted claims remain.
+        """
+        while True:
+            result = self.run_batch()
+            if result is None:
+                return
+            yield from result.verifications
+
+    def run_to_completion(
+        self,
+        claim_ids: Sequence[str] | None = None,
+        max_batches: int | None = None,
+    ) -> VerificationReport:
+        """Drive the loop until done (or ``max_batches``) and return the report."""
+        if self._session is None or claim_ids is not None:
+            self.submit(claim_ids)
+        while not self.is_complete:
+            if max_batches is not None and self._batch_index >= max_batches:
+                break
+            self.run_batch()
+        report = self.report
+        report.verifications.sort(key=lambda verification: verification.batch_index)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # bootstrap helpers
+    # ------------------------------------------------------------------ #
+    def warm_start(self, claim_ids: Sequence[str] | None = None) -> None:
+        """Train the translation backend on previously checked claims."""
+        ids = list(claim_ids) if claim_ids is not None else list(self.corpus.claim_ids)
+        claims = [self.corpus.claim(claim_id) for claim_id in ids]
+        truths = [self.corpus.ground_truth(claim_id) for claim_id in ids]
+        self.translator.bootstrap(claims, truths)
+
+    # ------------------------------------------------------------------ #
+    # per-claim verification
+    # ------------------------------------------------------------------ #
+    def _verify_claim(
+        self,
+        claim: Claim,
+        predictions: Mapping[ClaimProperty, Prediction] | None,
+        position: int,
+        batch_index: int,
+    ) -> ClaimVerification:
+        votes: list[bool] = []
+        responses: list[CheckerResponse] = []
+        assigned = self._assign_checkers(position)
+        for checker in assigned:
+            if predictions is None:
+                response = checker.verify_manually(claim)
+            else:
+                plan = self._build_plan(claim, predictions)
+                response = checker.verify_with_plan(claim, plan)
+            responses.append(response)
+            if response.decided:
+                votes.append(bool(response.verdict))
+        elapsed = sum(response.elapsed_seconds for response in responses)
+        decided_responses = [response for response in responses if response.decided]
+        if votes:
+            verdict: bool | None = majority_vote(votes)
+        else:
+            verdict = None
+        chosen_sql = next(
+            (response.chosen_sql for response in decided_responses if response.chosen_sql),
+            None,
+        )
+        suggested_value = next(
+            (
+                response.suggested_value
+                for response in decided_responses
+                if response.suggested_value is not None
+            ),
+            None,
+        )
+        return ClaimVerification(
+            claim_id=claim.claim_id,
+            verdict=verdict,
+            verified_sql=chosen_sql,
+            elapsed_seconds=elapsed,
+            checker_votes=tuple(votes),
+            suggested_value=suggested_value,
+            skipped=not bool(votes),
+            batch_index=batch_index,
+        )
+
+    def _build_plan(self, claim: Claim, predictions: Mapping[ClaimProperty, Prediction]):
+        """Two-phase planning: context screens first, then the final screen.
+
+        The context (relations, keys, attributes) validated by the crowd
+        feeds query generation, whose candidates populate the final screen —
+        exactly the workflow of Section 3.1/4.3.
+        """
+        context_plan = self.planner.plan_questions(claim, predictions)
+        validated_context: dict[ClaimProperty, tuple[str, ...]] = {}
+        for screen in context_plan.screens:
+            if screen.claim_property is ClaimProperty.FORMULA:
+                continue
+            answer = self.answer_source.answer_screen(claim.claim_id, screen)
+            validated_context[screen.claim_property] = answer.selected_labels
+        translation = self.translator.translate(claim, validated_context)
+        return self.planner.plan_questions(claim, predictions, translation.generation)
+
+    def _assign_checkers(self, position: int) -> list[Checker]:
+        """Round-robin assignment of ``votes_per_claim`` checkers to a claim."""
+        count = min(self.config.votes_per_claim, len(self.checkers))
+        start = position % len(self.checkers)
+        return [self.checkers[(start + offset) % len(self.checkers)] for offset in range(count)]
+
+    # ------------------------------------------------------------------ #
+    # batch construction and retraining
+    # ------------------------------------------------------------------ #
+    def _predict_pending(
+        self, pending: Sequence[str]
+    ) -> dict[str, dict[ClaimProperty, Prediction]]:
+        if not self.translator.is_trained:
+            return {}
+        predictions: dict[str, dict[ClaimProperty, Prediction]] = {}
+        for claim_id in pending:
+            predictions[claim_id] = dict(self.translator.predict(self.corpus.claim(claim_id)))
+        return predictions
+
+    def _batch_candidates(
+        self,
+        pending: Sequence[str],
+        predictions_by_claim: Mapping[str, Mapping[ClaimProperty, Prediction]],
+    ) -> list[BatchCandidate]:
+        candidates: list[BatchCandidate] = []
+        for claim_id in pending:
+            claim = self.corpus.claim(claim_id)
+            predictions = predictions_by_claim.get(claim_id)
+            if predictions is None:
+                cost = self.planner.cost_model.manual_cost
+                utility = 1.0
+            else:
+                cost = self.planner.estimate_cost(predictions)
+                utility = self.planner.estimate_utility(predictions)
+            candidates.append(
+                BatchCandidate(
+                    claim_id=claim_id,
+                    section_id=claim.section_id,
+                    verification_cost=cost,
+                    training_utility=utility,
+                )
+            )
+        return candidates
+
+    def _retrain(self, verified_claims: Sequence[Claim]) -> None:
+        if not verified_claims:
+            return
+        truths = [self.corpus.ground_truth(claim.claim_id) for claim in verified_claims]
+        if self.translator.is_trained:
+            self.translator.retrain(list(verified_claims), truths)
+        else:
+            claims = [self.corpus.claim(claim_id) for claim_id in self.corpus.claim_ids]
+            self.translator.bootstrap(claims, truths=None, fit_features_only=True)
+            self.translator.retrain(list(verified_claims), truths)
+
+    # ------------------------------------------------------------------ #
+    # accuracy tracking (Figures 8 and 9)
+    # ------------------------------------------------------------------ #
+    def _evaluate_accuracy(self, pending: Sequence[str]) -> dict[str, float]:
+        if not self.translator.is_trained or not pending:
+            scores = {prop.value: 0.0 for prop in ClaimProperty.ordered()}
+            scores["average"] = 0.0
+            return scores
+        sample_ids = list(pending)
+        if len(sample_ids) > self._accuracy_sample_size:
+            chosen = self._rng.choice(
+                len(sample_ids), size=self._accuracy_sample_size, replace=False
+            )
+            sample_ids = [sample_ids[int(index)] for index in chosen]
+        claims = [self.corpus.claim(claim_id) for claim_id in sample_ids]
+        truths = [self.corpus.ground_truth(claim_id) for claim_id in sample_ids]
+        per_property = self.translator.evaluate_accuracy(claims, truths, top_k=1)
+        scores = {prop.value: score for prop, score in per_property.items()}
+        scores["average"] = float(np.mean(list(per_property.values())))
+        return scores

@@ -9,10 +9,15 @@ accuracy of the aggregated verdicts).
 
 from __future__ import annotations
 
+import json
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.claims.corpus import ClaimCorpus
+from repro.errors import SerializationError
+
+#: Version stamp of the JSON report format; bump on breaking layout changes.
+REPORT_FORMAT_VERSION = 1
 
 #: Working hours assumed when converting seconds to person-weeks
 #: ("an eight hours work day and a five day week", Section 6.2).
@@ -42,6 +47,58 @@ class ClaimVerification:
     @property
     def decided(self) -> bool:
         return self.verdict is not None and not self.skipped
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-compatible representation of this verification."""
+        return {
+            "claim_id": self.claim_id,
+            "verdict": self.verdict,
+            "verified_sql": self.verified_sql,
+            "elapsed_seconds": self.elapsed_seconds,
+            "checker_votes": list(self.checker_votes),
+            "suggested_value": self.suggested_value,
+            "skipped": self.skipped,
+            "batch_index": self.batch_index,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ClaimVerification":
+        """Rebuild a verification from :meth:`to_dict` output."""
+        verdict = payload.get("verdict")
+        if verdict is not None and not isinstance(verdict, bool):
+            # A non-boolean verdict (e.g. "false" or 0 from a non-Python
+            # producer) would silently count as decided/validated downstream.
+            raise SerializationError(
+                f"invalid ClaimVerification payload: verdict must be "
+                f"true/false/null, got {verdict!r}"
+            )
+        verified_sql = payload.get("verified_sql")
+        if verified_sql is not None and not isinstance(verified_sql, str):
+            raise SerializationError(
+                f"invalid ClaimVerification payload: verified_sql must be "
+                f"a string or null, got {verified_sql!r}"
+            )
+        try:
+            suggested_value = payload.get("suggested_value")
+            return cls(
+                claim_id=str(payload["claim_id"]),
+                verdict=verdict,
+                verified_sql=verified_sql,
+                elapsed_seconds=float(payload["elapsed_seconds"]),  # type: ignore[arg-type]
+                checker_votes=tuple(
+                    bool(vote) for vote in payload.get("checker_votes", ())  # type: ignore[union-attr]
+                ),
+                suggested_value=None if suggested_value is None else float(suggested_value),  # type: ignore[arg-type]
+                skipped=bool(payload.get("skipped", False)),
+                batch_index=int(payload.get("batch_index", 0)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SerializationError(
+                f"invalid ClaimVerification payload: {error}"
+            ) from error
 
 
 @dataclass
@@ -140,6 +197,67 @@ class VerificationReport:
         if not values:
             return 0.0
         return max(values)
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization — reports cross process boundaries as JSON
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-compatible representation of the whole report."""
+        return {
+            "format_version": REPORT_FORMAT_VERSION,
+            "system_name": self.system_name,
+            "checker_count": self.checker_count,
+            "computation_seconds": self.computation_seconds,
+            "accuracy_history": [dict(entry) for entry in self.accuracy_history],
+            "verifications": [verification.to_dict() for verification in self.verifications],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "VerificationReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        version = payload.get("format_version")
+        if version != REPORT_FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported report format version {version!r} "
+                f"(expected {REPORT_FORMAT_VERSION})"
+            )
+        try:
+            verifications = [
+                ClaimVerification.from_dict(entry)
+                for entry in payload.get("verifications", ())  # type: ignore[union-attr]
+            ]
+            report = cls(
+                system_name=str(payload["system_name"]),
+                verifications=verifications,
+                computation_seconds=float(payload.get("computation_seconds", 0.0)),  # type: ignore[arg-type]
+                accuracy_history=[
+                    {str(series): float(value) for series, value in entry.items()}
+                    for entry in payload.get("accuracy_history", ())  # type: ignore[union-attr]
+                ],
+                checker_count=int(payload.get("checker_count", 1)),  # type: ignore[arg-type]
+            )
+        except SerializationError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise SerializationError(
+                f"invalid VerificationReport payload: {error}"
+            ) from error
+        return report
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the report to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VerificationReport":
+        """Deserialize a report from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SerializationError(f"report is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise SerializationError("report JSON must be an object")
+        return cls.from_dict(payload)
 
     # ------------------------------------------------------------------ #
     # presentation

@@ -5,29 +5,29 @@ Claims are verified in batches.  Each iteration selects the next batch
 (Section 5.1), collects answers from the (simulated) crowd, generates and
 tentatively executes candidate queries (Section 4), decides verdicts and
 finally retrains the classifiers on the newly verified claims.
+
+The loop itself lives in :class:`~repro.api.service.VerificationService`;
+this class is the classic one-shot facade over it.  Use
+:class:`~repro.api.builder.ScrutinizerBuilder` to swap in custom checkers,
+answer sources, translation backends or batch selectors.
 """
 
 from __future__ import annotations
 
-import time
-from collections.abc import Mapping, Sequence
-
-import numpy as np
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.claims.corpus import ClaimCorpus
-from repro.claims.model import Claim, ClaimProperty
 from repro.config import ScrutinizerConfig
-from repro.core.report import ClaimVerification, VerificationReport
-from repro.core.session import BatchRecord, VerificationSession
-from repro.crowd.oracle import GroundTruthOracle
-from repro.crowd.timing import TimingModel
-from repro.crowd.voting import majority_vote
-from repro.crowd.worker import CheckerResponse, SimulatedChecker
-from repro.errors import SimulationError
-from repro.ml.base import Prediction
-from repro.planning.batching import BatchCandidate
-from repro.planning.planner import QuestionPlanner
+from repro.core.report import VerificationReport
+from repro.core.session import VerificationSession
+from repro.crowd.worker import SimulatedChecker
 from repro.translation.translator import ClaimTranslator
+
+if TYPE_CHECKING:  # pragma: no cover - the runtime import is deferred:
+    # repro.core.__init__ imports this module while repro.api.service is
+    # still initializing, so the facade resolves the service lazily.
+    from repro.api.service import ProgressCallback, VerificationService
 
 
 class Scrutinizer:
@@ -38,17 +38,18 @@ class Scrutinizer:
     corpus:
         The annotated claim corpus (document, claims, ground truth, data).
         The ground truth drives the simulated crowd; a deployment against
-        real experts would replace :class:`GroundTruthOracle` and
-        :class:`SimulatedChecker` with a user interface.
+        real experts would swap in custom :class:`~repro.api.protocols.Checker`
+        and :class:`~repro.api.protocols.AnswerSource` implementations via
+        :class:`~repro.api.builder.ScrutinizerBuilder`.
     config:
         System configuration; ``config.claim_ordering=False`` yields the
         *Sequential* baseline of the evaluation.
     translator:
-        Optional pre-built translator (e.g. already bootstrapped on past
-        checks).  When omitted a fresh translator is created and fitted on
-        the corpus texts.
+        Optional pre-built translation backend (e.g. already bootstrapped on
+        past checks).  When omitted a fresh translator is created and fitted
+        on the corpus texts.
     checkers:
-        Optional simulated checkers; defaults to ``config.checker_count``
+        Optional checkers; defaults to ``config.checker_count`` simulated
         workers with distinct seeds.
     """
 
@@ -59,34 +60,68 @@ class Scrutinizer:
         translator: ClaimTranslator | None = None,
         checkers: Sequence[SimulatedChecker] | None = None,
         accuracy_sample_size: int = 60,
+        *,
+        service: VerificationService | None = None,
     ) -> None:
-        self.corpus = corpus
-        self.config = config if config is not None else ScrutinizerConfig()
-        self.planner = QuestionPlanner(self.config)
-        self.oracle = GroundTruthOracle(corpus, value_tolerance=0.05)
-        self._timing = TimingModel(cost_model=self.config.cost_model, seed=self.config.seed)
-        self._accuracy_sample_size = accuracy_sample_size
-        self._rng = np.random.default_rng(self.config.seed)
-        if translator is not None:
-            self.translator = translator
-        else:
-            self.translator = ClaimTranslator(corpus.database, config=self.config.translation)
-            claims = [annotated.claim for annotated in corpus]
-            self.translator.bootstrap(claims, fit_features_only=True)
-        if checkers is not None:
-            self.checkers = list(checkers)
-        else:
-            self.checkers = [
-                SimulatedChecker(
-                    checker_id=f"S{index + 1}",
-                    oracle=self.oracle,
-                    timing=self._timing,
-                    seed=self.config.seed + index,
-                )
-                for index in range(self.config.checker_count)
-            ]
-        if not self.checkers:
-            raise SimulationError("Scrutinizer needs at least one checker")
+        if service is None:
+            from repro.api.service import VerificationService
+
+            service = VerificationService(
+                corpus,
+                config,
+                translator=translator,
+                checkers=checkers,
+                accuracy_sample_size=accuracy_sample_size,
+            )
+        self._service = service
+        self._last_session: VerificationSession | None = None
+
+    @classmethod
+    def from_service(cls, service: VerificationService) -> "Scrutinizer":
+        """Wrap an already-assembled verification service."""
+        return cls(service.corpus, service=service)
+
+    # ------------------------------------------------------------------ #
+    # component access (backwards-compatible surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> VerificationService:
+        """The underlying incremental verification service."""
+        return self._service
+
+    @property
+    def corpus(self) -> ClaimCorpus:
+        return self._service.corpus
+
+    @property
+    def config(self) -> ScrutinizerConfig:
+        return self._service.config
+
+    @property
+    def planner(self):
+        return self._service.planner
+
+    @property
+    def oracle(self):
+        """The answer source (the ground-truth oracle by default)."""
+        return self._service.answer_source
+
+    @property
+    def translator(self):
+        return self._service.translator
+
+    @property
+    def checkers(self):
+        return self._service.checkers
+
+    @property
+    def last_session(self) -> VerificationSession | None:
+        return self._last_session
+
+    def on_batch_complete(self, callback: ProgressCallback) -> "Scrutinizer":
+        """Register a progress callback invoked after every batch."""
+        self._service.on_batch_complete(callback)
+        return self
 
     # ------------------------------------------------------------------ #
     # bootstrap helpers
@@ -98,10 +133,7 @@ class Scrutinizer:
         immediate training data; ``claim_ids`` restricts the warm start to a
         subset (defaults to the whole corpus).
         """
-        ids = list(claim_ids) if claim_ids is not None else list(self.corpus.claim_ids)
-        claims = [self.corpus.claim(claim_id) for claim_id in ids]
-        truths = [self.corpus.ground_truth(claim_id) for claim_id in ids]
-        self.translator.bootstrap(claims, truths)
+        self._service.warm_start(claim_ids)
 
     # ------------------------------------------------------------------ #
     # Algorithm 1
@@ -112,210 +144,13 @@ class Scrutinizer:
         max_batches: int | None = None,
         track_accuracy: bool = True,
     ) -> VerificationReport:
-        """Verify claims and return the verification report."""
-        ids = list(claim_ids) if claim_ids is not None else list(self.corpus.claim_ids)
-        session = VerificationSession(ids)
-        report = VerificationReport(
-            system_name="Scrutinizer" if self.config.claim_ordering else "Sequential",
-            checker_count=self.config.checker_count,
-        )
-        document_order = list(self.corpus.document.claim_ids)
-        section_read_costs = {
-            section.section_id: section.read_cost
-            for section in self.corpus.document.sections
-        }
-        batch_index = 0
-        while not session.is_complete:
-            if max_batches is not None and batch_index >= max_batches:
-                break
-            batch_index += 1
-            planning_started = time.perf_counter()
-            pending = session.pending_claim_ids
-            predictions_by_claim = self._predict_pending(pending)
-            candidates = self._batch_candidates(pending, predictions_by_claim)
-            selection = self.planner.plan_batch(
-                candidates, section_read_costs, document_order=document_order
-            )
-            report.computation_seconds += time.perf_counter() - planning_started
+        """Verify claims and return the verification report.
 
-            batch_seconds = 0.0
-            verified_claims: list[Claim] = []
-            for position, claim_id in enumerate(selection.claim_ids):
-                claim = self.corpus.claim(claim_id)
-                predictions = predictions_by_claim.get(claim_id)
-                verification = self._verify_claim(
-                    claim, predictions, position, batch_index
-                )
-                session.mark_verified(verification)
-                report.add(verification)
-                batch_seconds += verification.elapsed_seconds
-                verified_claims.append(claim)
-
-            retrain_started = time.perf_counter()
-            self._retrain(verified_claims)
-            report.computation_seconds += time.perf_counter() - retrain_started
-
-            accuracy = {}
-            if track_accuracy:
-                accuracy = self._evaluate_accuracy(session.pending_claim_ids)
-                report.accuracy_history.append(accuracy)
-            session.record_batch(
-                BatchRecord(
-                    batch_index=batch_index,
-                    claim_ids=selection.claim_ids,
-                    seconds_spent=batch_seconds,
-                    accuracy_by_property=accuracy,
-                    solver=selection.solver,
-                )
-            )
-        report.verifications.sort(key=lambda verification: verification.batch_index)
-        self._last_session = session
-        return report
-
-    @property
-    def last_session(self) -> VerificationSession | None:
-        return getattr(self, "_last_session", None)
-
-    # ------------------------------------------------------------------ #
-    # per-claim verification
-    # ------------------------------------------------------------------ #
-    def _verify_claim(
-        self,
-        claim: Claim,
-        predictions: Mapping[ClaimProperty, Prediction] | None,
-        position: int,
-        batch_index: int,
-    ) -> ClaimVerification:
-        votes: list[bool] = []
-        responses: list[CheckerResponse] = []
-        assigned = self._assign_checkers(position)
-        for checker in assigned:
-            if predictions is None:
-                response = checker.verify_manually(claim)
-            else:
-                plan = self._build_plan(claim, predictions)
-                response = checker.verify_with_plan(claim, plan)
-            responses.append(response)
-            if response.decided:
-                votes.append(bool(response.verdict))
-        elapsed = sum(response.elapsed_seconds for response in responses)
-        decided_responses = [response for response in responses if response.decided]
-        if votes:
-            verdict: bool | None = majority_vote(votes)
-        else:
-            verdict = None
-        chosen_sql = next(
-            (response.chosen_sql for response in decided_responses if response.chosen_sql),
-            None,
-        )
-        suggested_value = next(
-            (
-                response.suggested_value
-                for response in decided_responses
-                if response.suggested_value is not None
-            ),
-            None,
-        )
-        return ClaimVerification(
-            claim_id=claim.claim_id,
-            verdict=verdict,
-            verified_sql=chosen_sql,
-            elapsed_seconds=elapsed,
-            checker_votes=tuple(votes),
-            suggested_value=suggested_value,
-            skipped=not bool(votes),
-            batch_index=batch_index,
-        )
-
-    def _build_plan(self, claim: Claim, predictions: Mapping[ClaimProperty, Prediction]):
-        """Two-phase planning: context screens first, then the final screen.
-
-        The context (relations, keys, attributes) validated by the crowd
-        feeds query generation, whose candidates populate the final screen —
-        exactly the workflow of Section 3.1/4.3.
+        A thin wrapper over the service: start a fresh run, drive it to
+        completion (or ``max_batches``), return the report.
         """
-        context_plan = self.planner.plan_questions(claim, predictions)
-        validated_context: dict[ClaimProperty, tuple[str, ...]] = {}
-        for screen in context_plan.screens:
-            if screen.claim_property is ClaimProperty.FORMULA:
-                continue
-            answer = self.oracle.answer_screen(claim.claim_id, screen)
-            validated_context[screen.claim_property] = answer.selected_labels
-        translation = self.translator.translate(claim, validated_context)
-        return self.planner.plan_questions(claim, predictions, translation.generation)
-
-    def _assign_checkers(self, position: int) -> list[SimulatedChecker]:
-        """Round-robin assignment of ``votes_per_claim`` checkers to a claim."""
-        count = min(self.config.votes_per_claim, len(self.checkers))
-        start = position % len(self.checkers)
-        return [self.checkers[(start + offset) % len(self.checkers)] for offset in range(count)]
-
-    # ------------------------------------------------------------------ #
-    # batch construction and retraining
-    # ------------------------------------------------------------------ #
-    def _predict_pending(
-        self, pending: Sequence[str]
-    ) -> dict[str, dict[ClaimProperty, Prediction]]:
-        if not self.translator.is_trained:
-            return {}
-        predictions: dict[str, dict[ClaimProperty, Prediction]] = {}
-        for claim_id in pending:
-            predictions[claim_id] = self.translator.predict(self.corpus.claim(claim_id))
-        return predictions
-
-    def _batch_candidates(
-        self,
-        pending: Sequence[str],
-        predictions_by_claim: Mapping[str, Mapping[ClaimProperty, Prediction]],
-    ) -> list[BatchCandidate]:
-        candidates: list[BatchCandidate] = []
-        for claim_id in pending:
-            claim = self.corpus.claim(claim_id)
-            predictions = predictions_by_claim.get(claim_id)
-            if predictions is None:
-                cost = self.planner.cost_model.manual_cost
-                utility = 1.0
-            else:
-                cost = self.planner.estimate_cost(predictions)
-                utility = self.planner.estimate_utility(predictions)
-            candidates.append(
-                BatchCandidate(
-                    claim_id=claim_id,
-                    section_id=claim.section_id,
-                    verification_cost=cost,
-                    training_utility=utility,
-                )
-            )
-        return candidates
-
-    def _retrain(self, verified_claims: Sequence[Claim]) -> None:
-        if not verified_claims:
-            return
-        truths = [self.corpus.ground_truth(claim.claim_id) for claim in verified_claims]
-        if self.translator.is_trained:
-            self.translator.retrain(list(verified_claims), truths)
-        else:
-            claims = [self.corpus.claim(claim_id) for claim_id in self.corpus.claim_ids]
-            self.translator.bootstrap(claims, truths=None, fit_features_only=True)
-            self.translator.retrain(list(verified_claims), truths)
-
-    # ------------------------------------------------------------------ #
-    # accuracy tracking (Figures 8 and 9)
-    # ------------------------------------------------------------------ #
-    def _evaluate_accuracy(self, pending: Sequence[str]) -> dict[str, float]:
-        if not self.translator.is_trained or not pending:
-            scores = {prop.value: 0.0 for prop in ClaimProperty.ordered()}
-            scores["average"] = 0.0
-            return scores
-        sample_ids = list(pending)
-        if len(sample_ids) > self._accuracy_sample_size:
-            chosen = self._rng.choice(
-                len(sample_ids), size=self._accuracy_sample_size, replace=False
-            )
-            sample_ids = [sample_ids[int(index)] for index in chosen]
-        claims = [self.corpus.claim(claim_id) for claim_id in sample_ids]
-        truths = [self.corpus.ground_truth(claim_id) for claim_id in sample_ids]
-        per_property = self.translator.suite.evaluate_accuracy(claims, truths, top_k=1)
-        scores = {prop.value: score for prop, score in per_property.items()}
-        scores["average"] = float(np.mean(list(per_property.values())))
-        return scores
+        service = self._service
+        service.reset(track_accuracy=track_accuracy)
+        report = service.run_to_completion(claim_ids, max_batches=max_batches)
+        self._last_session = service.session
+        return report

@@ -64,6 +64,22 @@ class VerificationSession:
     # ------------------------------------------------------------------ #
     # transitions
     # ------------------------------------------------------------------ #
+    def submit(self, claim_ids: Sequence[str]) -> int:
+        """Add claims to the pending pool mid-run; returns how many were new.
+
+        Claims already pending or already verified in this session are
+        ignored, so resubmission is safe.
+        """
+        added = 0
+        pending = set(self._pending)
+        for claim_id in claim_ids:
+            if claim_id in pending or claim_id in self._verified:
+                continue
+            self._pending.append(claim_id)
+            pending.add(claim_id)
+            added += 1
+        return added
+
     def mark_verified(self, verification: ClaimVerification) -> None:
         claim_id = verification.claim_id
         if claim_id not in self._pending:

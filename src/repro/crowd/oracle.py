@@ -129,5 +129,8 @@ class GroundTruthOracle:
     def reference_value(self, claim_id: str) -> float | None:
         return self._corpus.ground_truth(claim_id).expected_value
 
+    def reference_sql(self, claim_id: str) -> str | None:
+        return self._corpus.ground_truth(claim_id).sql or None
+
     def claim_complexity(self, claim_id: str) -> int:
         return self._corpus.ground_truth(claim_id).complexity

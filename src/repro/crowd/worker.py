@@ -10,13 +10,16 @@ claims the checker does not feel confident about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.claims.model import Claim, ClaimProperty
-from repro.crowd.oracle import GroundTruthOracle
 from repro.crowd.timing import TimingModel
 from repro.planning.screens import QuestionPlan
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle at runtime)
+    from repro.api.protocols import AnswerSource
 
 
 @dataclass(frozen=True)
@@ -39,12 +42,18 @@ class CheckerResponse:
 
 
 class SimulatedChecker:
-    """A simulated domain expert answering planner questions."""
+    """A simulated domain expert answering planner questions.
+
+    ``oracle`` may be any :class:`~repro.api.protocols.AnswerSource`; the
+    ground-truth oracle is the stock choice, but the checker only relies on
+    the protocol methods, so simulated experts can also be pointed at a
+    recorded answer log or a different corpus adapter.
+    """
 
     def __init__(
         self,
         checker_id: str,
-        oracle: GroundTruthOracle,
+        oracle: "AnswerSource",
         timing: TimingModel | None = None,
         error_rate: float = 0.03,
         skip_rate: float = 0.05,
@@ -138,7 +147,7 @@ class SimulatedChecker:
             elapsed_seconds=elapsed,
             skipped=False,
             used_system=False,
-            chosen_sql=self._oracle.corpus.ground_truth(claim_id).sql or None,
+            chosen_sql=self._oracle.reference_sql(claim_id),
         )
 
     # ------------------------------------------------------------------ #

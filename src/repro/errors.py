@@ -107,3 +107,7 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An invalid configuration value was supplied."""
+
+
+class SerializationError(ReproError):
+    """A report or verification payload could not be (de)serialized."""

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.service import BatchResult
 from repro.experiments import (
     figure5,
     figure6,
@@ -33,11 +34,14 @@ class ExperimentRunner:
     scenario: SimulationScenario = field(default_factory=small_scenario)
     study_config: UserStudyConfig = field(default_factory=UserStudyConfig)
     max_batches: int | None = None
+    #: Print per-batch progress of the assisted simulation runs.
+    progress: bool = False
 
     def run_all(self, verbose: bool = True) -> dict[str, object]:
         """Run every experiment and return a name → outcome mapping."""
         corpus = generate_corpus(self.scenario.corpus)
-        simulator = ReportSimulator(self.scenario)
+        progress = self._print_progress if self.progress and verbose else None
+        simulator = ReportSimulator(self.scenario, progress=progress)
         simulator.use_corpus(corpus)
 
         results: dict[str, object] = {}
@@ -59,6 +63,17 @@ class ExperimentRunner:
         if verbose:
             print(self.render(results))
         return results
+
+    @staticmethod
+    def _print_progress(system_name: str, result: BatchResult) -> None:
+        """Per-batch progress line for long simulation runs."""
+        accuracy = result.accuracy_by_property.get("average")
+        accuracy_note = f", accuracy {accuracy:.2f}" if accuracy is not None else ""
+        print(
+            f"  [{system_name}] batch {result.batch_index}: "
+            f"{result.batch_size} claims in {result.seconds_spent:.0f}s crowd time"
+            f"{accuracy_note}, {result.pending_after} pending"
+        )
 
     @staticmethod
     def render(results: dict[str, object]) -> str:

@@ -13,7 +13,10 @@ Outputs feed Table 2 and Figures 7–9 of the paper.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 
+from repro.api.builder import ScrutinizerBuilder
+from repro.api.service import BatchResult
 from repro.claims.corpus import ClaimCorpus
 from repro.core.baselines import ManualBaseline
 from repro.core.scrutinizer import Scrutinizer
@@ -25,13 +28,26 @@ from repro.text.features import ClaimFeaturizer
 from repro.translation.preprocess import ClaimPreprocessor
 from repro.translation.translator import ClaimTranslator
 
+#: Progress hook: called with the system name and each completed batch.
+SimulationProgress = Callable[[str, BatchResult], None]
+
 
 class ReportSimulator:
-    """Runs the compared verification processes over one synthetic report."""
+    """Runs the compared verification processes over one synthetic report.
 
-    def __init__(self, scenario: SimulationScenario | None = None) -> None:
+    ``progress`` (optional) receives ``(system_name, batch_result)`` after
+    every batch of the assisted runs, so long simulations can report
+    incremental state instead of going dark until the end.
+    """
+
+    def __init__(
+        self,
+        scenario: SimulationScenario | None = None,
+        progress: SimulationProgress | None = None,
+    ) -> None:
         self.scenario = scenario if scenario is not None else small_scenario()
         self._corpus: ClaimCorpus | None = None
+        self._progress = progress
 
     # ------------------------------------------------------------------ #
     # corpus management
@@ -71,14 +87,24 @@ class ReportSimulator:
             wall_clock_seconds=time.perf_counter() - started,
         )
 
+    def _build_system(self, system_name: str) -> Scrutinizer:
+        """Assemble one assisted system through the builder API."""
+        builder = (
+            ScrutinizerBuilder(self.corpus)
+            .with_config(self.scenario.system)
+            .with_translator(self._build_translator())
+            .with_accuracy_sample_size(self.scenario.accuracy_sample_size)
+        )
+        if system_name == "Sequential":
+            builder.sequential_baseline()
+        if self._progress is not None:
+            progress = self._progress
+            builder.on_batch_complete(lambda result: progress(system_name, result))
+        return builder.build()
+
     def run_sequential(self, max_batches: int | None = None) -> SystemRunResult:
         started = time.perf_counter()
-        system = Scrutinizer(
-            self.corpus,
-            config=self.scenario.system.as_sequential(),
-            translator=self._build_translator(),
-            accuracy_sample_size=self.scenario.accuracy_sample_size,
-        )
+        system = self._build_system("Sequential")
         report = system.verify(max_batches=max_batches)
         return SystemRunResult(
             system_name="Sequential",
@@ -88,12 +114,7 @@ class ReportSimulator:
 
     def run_scrutinizer(self, max_batches: int | None = None) -> SystemRunResult:
         started = time.perf_counter()
-        system = Scrutinizer(
-            self.corpus,
-            config=self.scenario.system,
-            translator=self._build_translator(),
-            accuracy_sample_size=self.scenario.accuracy_sample_size,
-        )
+        system = self._build_system("Scrutinizer")
         report = system.verify(max_batches=max_batches)
         return SystemRunResult(
             system_name="Scrutinizer",

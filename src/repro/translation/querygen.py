@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.config import TranslationConfig
 from repro.dataset.database import Database
 from repro.dataset.types import is_numeric, values_close
+from repro.errors import FormulaError
 from repro.formulas.ast import Formula
 from repro.formulas.instantiate import FormulaInstantiator, InstantiatedQuery, ValueRef
 from repro.sqlengine.functions import FunctionLibrary
@@ -149,9 +150,15 @@ class QueryGenerator:
                     name: cell.ref for name, cell in zip(variable_names, assignment)
                 }
                 attribute_assignment = self._attribute_assignment(formula, assignment)
-                instantiated = self._instantiator.instantiate(
-                    formula, value_assignment, attribute_assignment
-                )
+                try:
+                    instantiated = self._instantiator.instantiate(
+                        formula, value_assignment, attribute_assignment
+                    )
+                except FormulaError:
+                    # The assignment cannot be rewritten into SQL (e.g. an
+                    # attribute variable bound to a non-numeric label): it is
+                    # not a valid candidate, not a failure of the claim.
+                    continue
                 if instantiated.value is None:
                     continue
                 is_match = parameter is not None and values_close(

@@ -108,6 +108,19 @@ class ClaimTranslator:
         self._suite.fit(examples)
         return self
 
+    def evaluate_accuracy(
+        self,
+        claims: Sequence[Claim],
+        truths: Sequence[ClaimGroundTruth],
+        top_k: int = 1,
+    ) -> dict[ClaimProperty, float]:
+        """Per-property top-k accuracy on held-out claims.
+
+        Part of the :class:`~repro.api.protocols.TranslationBackend`
+        protocol; delegates to the classifier suite.
+        """
+        return self._suite.evaluate_accuracy(claims, truths, top_k=top_k)
+
     def retrain(self, claims: Sequence[Claim], truths: Sequence[ClaimGroundTruth]) -> None:
         """Feed newly verified claims back into the classifiers (Algorithm 1)."""
         if len(claims) != len(truths):
