@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench lint check
+.PHONY: test bench bench-quick lint check
 
 # Tier-1 verification: the full unit + benchmark suite, fail-fast.
 test:
@@ -12,6 +12,11 @@ test:
 # Benchmarks only (pytest-benchmark timings for the paper's tables/figures).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Pipeline throughput benchmark in its reduced configuration; writes
+# BENCH_pipeline_throughput.json at the repository root (CI uploads it).
+bench-quick:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_pipeline_throughput.py -q
 
 # Bytecode-compile every tree; uses ruff additionally when installed.
 lint:

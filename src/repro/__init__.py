@@ -29,6 +29,9 @@ The substrates, mirroring the paper's structure:
   verifies claims with (Definition 3).
 * :mod:`repro.text` and :mod:`repro.ml` — the feature pipeline (Figure 4) and
   the classifiers used for claim-to-query translation.
+* :mod:`repro.pipeline` — the vectorized batch pipeline: the shared claim
+  feature store, batch-prediction containers and array-based planning
+  scores that keep the per-batch hot path free of per-claim Python loops.
 * :mod:`repro.formulas`, :mod:`repro.claims` and :mod:`repro.translation` —
   the claim model, the formula generalisation machinery (Section 4.2) and the
   query-generation algorithm (Algorithm 2).
@@ -49,6 +52,8 @@ from repro.core.report import ClaimVerification, VerificationReport
 from repro.core.scrutinizer import Scrutinizer
 from repro.dataset.database import Database
 from repro.dataset.relation import Relation
+from repro.pipeline.batch import ClaimBatchPredictions
+from repro.pipeline.feature_store import ClaimFeatureStore
 from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
 from repro.translation.translator import ClaimTranslator
 
@@ -60,6 +65,8 @@ __all__ = [
     "BatchSelector",
     "Checker",
     "Claim",
+    "ClaimBatchPredictions",
+    "ClaimFeatureStore",
     "ClaimProperty",
     "ClaimTranslator",
     "ClaimVerification",

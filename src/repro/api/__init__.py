@@ -3,7 +3,8 @@
 This package is the front door for embedding the Scrutinizer loop:
 
 * :mod:`repro.api.protocols` — the structural extension points
-  (:class:`Checker`, :class:`AnswerSource`, :class:`TranslationBackend`,
+  (:class:`Checker`, :class:`AnswerSource`, :class:`TranslationBackend`
+  with its batch extension :class:`BatchTranslationBackend`,
   :class:`BatchSelector`).
 * :mod:`repro.api.builder` — :class:`ScrutinizerBuilder`, fluent
   construction with pluggable backends.
@@ -13,7 +14,13 @@ This package is the front door for embedding the Scrutinizer loop:
 """
 
 from repro.api.builder import ScrutinizerBuilder
-from repro.api.protocols import AnswerSource, BatchSelector, Checker, TranslationBackend
+from repro.api.protocols import (
+    AnswerSource,
+    BatchSelector,
+    BatchTranslationBackend,
+    Checker,
+    TranslationBackend,
+)
 from repro.api.serialization import (
     read_report,
     report_from_dict,
@@ -30,6 +37,7 @@ __all__ = [
     "AnswerSource",
     "BatchResult",
     "BatchSelector",
+    "BatchTranslationBackend",
     "Checker",
     "ProgressCallback",
     "ScrutinizerBuilder",

@@ -31,6 +31,7 @@ from repro.claims.model import Claim, ClaimGroundTruth, ClaimProperty
 from repro.crowd.oracle import FinalAnswer, ScreenAnswer
 from repro.crowd.worker import CheckerResponse
 from repro.ml.base import Prediction
+from repro.pipeline.batch import ClaimBatchPredictions
 from repro.planning.batching import BatchCandidate, ClaimSelection
 from repro.planning.screens import QueryOption, QuestionPlan, Screen
 from repro.translation.translator import TranslationResult
@@ -38,6 +39,7 @@ from repro.translation.translator import TranslationResult
 __all__ = [
     "AnswerSource",
     "BatchSelector",
+    "BatchTranslationBackend",
     "Checker",
     "TranslationBackend",
 ]
@@ -145,6 +147,24 @@ class TranslationBackend(Protocol):
         top_k: int = 1,
     ) -> Mapping[ClaimProperty, float]:
         """Per-property top-k accuracy on held-out claims (Figures 8-9)."""
+        ...
+
+
+@runtime_checkable
+class BatchTranslationBackend(TranslationBackend, Protocol):
+    """A translation backend with a native batch front door.
+
+    The verification service calls :meth:`predict_many` on its planning
+    hot path when available — one feature matrix, one matrix operation per
+    property — and falls back to adapting per-claim ``predict`` output
+    through
+    :meth:`~repro.pipeline.batch.ClaimBatchPredictions.from_prediction_dicts`
+    for plain :class:`TranslationBackend` implementations, which therefore
+    keep working (and keep conforming structurally) unchanged.
+    """
+
+    def predict_many(self, claims: Sequence[Claim]) -> ClaimBatchPredictions:
+        """Predictions for many claims in one pass (the planning hot path)."""
         ...
 
 

@@ -40,6 +40,7 @@ from repro.crowd.voting import majority_vote
 from repro.crowd.worker import CheckerResponse, SimulatedChecker
 from repro.errors import ClaimError, SimulationError
 from repro.ml.base import Prediction
+from repro.pipeline.batch import ClaimBatchPredictions
 from repro.planning.batching import BatchCandidate
 from repro.planning.planner import QuestionPlanner
 from repro.translation.translator import ClaimTranslator
@@ -56,8 +57,12 @@ class BatchResult:
     verifications: tuple[ClaimVerification, ...]
     #: Crowd time spent on this batch, in (simulated) seconds.
     seconds_spent: float
-    #: Machine time spent planning and retraining, in wall-clock seconds.
+    #: Machine time spent predicting and planning the batch, in wall-clock
+    #: seconds (retraining is reported separately in
+    #: :attr:`retrain_seconds` — each bucket counts its time exactly once).
     planning_seconds: float
+    #: Machine time spent retraining the classifiers after the batch.
+    retrain_seconds: float
     #: Classifier accuracy on the still-pending claims, keyed by series
     #: name; empty when tracking is off or no claims remain.
     accuracy_by_property: dict[str, float]
@@ -255,8 +260,8 @@ class VerificationService:
         self._batch_index += 1
         planning_started = time.perf_counter()
         pending = session.pending_claim_ids
-        predictions_by_claim = self._predict_pending(pending)
-        candidates = self._batch_candidates(pending, predictions_by_claim)
+        batch_predictions = self._predict_pending(pending)
+        candidates = self._batch_candidates(pending, batch_predictions)
         selection = self.batch_selector.plan_batch(
             candidates, self._section_read_costs, document_order=self._document_order
         )
@@ -268,7 +273,12 @@ class VerificationService:
         verifications: list[ClaimVerification] = []
         for position, claim_id in enumerate(selection.claim_ids):
             claim = self.corpus.claim(claim_id)
-            predictions = predictions_by_claim.get(claim_id)
+            # Ranked per-claim predictions are materialized lazily, only for
+            # the claims actually selected into the batch.
+            if batch_predictions is not None and claim_id in batch_predictions:
+                predictions = batch_predictions.predictions_for(claim_id)
+            else:
+                predictions = None
             verification = self._verify_claim(
                 claim, predictions, position, self._batch_index
             )
@@ -282,7 +292,6 @@ class VerificationService:
         self._retrain(verified_claims)
         retrain_seconds = time.perf_counter() - retrain_started
         report.computation_seconds += retrain_seconds
-        planning_seconds += retrain_seconds
 
         accuracy: dict[str, float] = {}
         # Accuracy is measured on the still-pending claims; once the run is
@@ -310,6 +319,7 @@ class VerificationService:
             verifications=tuple(verifications),
             seconds_spent=batch_seconds,
             planning_seconds=planning_seconds,
+            retrain_seconds=retrain_seconds,
             accuracy_by_property=dict(accuracy),
             solver=selection.solver,
             pending_after=session.pending_count,
@@ -433,40 +443,46 @@ class VerificationService:
     # ------------------------------------------------------------------ #
     # batch construction and retraining
     # ------------------------------------------------------------------ #
-    def _predict_pending(
-        self, pending: Sequence[str]
-    ) -> dict[str, dict[ClaimProperty, Prediction]]:
+    def _predict_pending(self, pending: Sequence[str]) -> ClaimBatchPredictions | None:
+        """Predictions for every pending claim, as one batch.
+
+        One ``predict_many`` call — a single feature matrix and one matrix
+        operation per property — instead of per-claim ``predict`` loops.
+        Backends that predate ``predict_many`` are adapted through the
+        per-claim path transparently.
+        """
         if not self.translator.is_trained:
-            return {}
-        predictions: dict[str, dict[ClaimProperty, Prediction]] = {}
-        for claim_id in pending:
-            predictions[claim_id] = dict(self.translator.predict(self.corpus.claim(claim_id)))
-        return predictions
+            return None
+        claims = [self.corpus.claim(claim_id) for claim_id in pending]
+        predict_many = getattr(self.translator, "predict_many", None)
+        if predict_many is not None:
+            return predict_many(claims)
+        return ClaimBatchPredictions.from_prediction_dicts(
+            [claim.claim_id for claim in claims],
+            [dict(self.translator.predict(claim)) for claim in claims],
+        )
 
     def _batch_candidates(
         self,
         pending: Sequence[str],
-        predictions_by_claim: Mapping[str, Mapping[ClaimProperty, Prediction]],
+        batch_predictions: ClaimBatchPredictions | None,
     ) -> list[BatchCandidate]:
-        candidates: list[BatchCandidate] = []
-        for claim_id in pending:
-            claim = self.corpus.claim(claim_id)
-            predictions = predictions_by_claim.get(claim_id)
-            if predictions is None:
-                cost = self.planner.cost_model.manual_cost
-                utility = 1.0
-            else:
-                cost = self.planner.estimate_cost(predictions)
-                utility = self.planner.estimate_utility(predictions)
-            candidates.append(
-                BatchCandidate(
-                    claim_id=claim_id,
-                    section_id=claim.section_id,
-                    verification_cost=cost,
-                    training_utility=utility,
-                )
+        if batch_predictions is None:
+            manual_cost = self.planner.cost_model.manual_cost
+            costs = np.full(len(pending), manual_cost)
+            utilities = np.ones(len(pending))
+        else:
+            costs = self.planner.estimate_costs_batch(batch_predictions)
+            utilities = self.planner.estimate_utilities_batch(batch_predictions)
+        return [
+            BatchCandidate(
+                claim_id=claim_id,
+                section_id=self.corpus.claim(claim_id).section_id,
+                verification_cost=float(costs[index]),
+                training_utility=float(utilities[index]),
             )
-        return candidates
+            for index, claim_id in enumerate(pending)
+        ]
 
     def _retrain(self, verified_claims: Sequence[Claim]) -> None:
         if not verified_claims:

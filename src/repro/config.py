@@ -121,6 +121,14 @@ class TranslationConfig:
     admissible_error: float = 0.05
     #: Hard cap on variable-assignment permutations tried per formula.
     max_permutations: int = 5000
+    #: Whether retrains continue gradient descent from the previous softmax
+    #: weights (incremental retraining) instead of refitting from scratch.
+    warm_start: bool = True
+    #: Refit the TF-IDF vocabulary once this many distinct n-grams unseen at
+    #: featurizer-fit time have accumulated in the training examples; the
+    #: refit bumps the feature-store generation, discarding cached vectors
+    #: and warm-started weights.  0 disables vocabulary refits.
+    vocabulary_refit_threshold: int = 200
 
     def __post_init__(self) -> None:
         for name in ("top_k_relations", "top_k_keys", "top_k_attributes", "top_k_formulas"):
@@ -130,6 +138,8 @@ class TranslationConfig:
             raise ConfigurationError("admissible_error must be in (0, 1)")
         if self.max_permutations < 1:
             raise ConfigurationError("max_permutations must be at least 1")
+        if self.vocabulary_refit_threshold < 0:
+            raise ConfigurationError("vocabulary_refit_threshold must be non-negative")
 
 
 @dataclass(frozen=True)

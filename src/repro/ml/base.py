@@ -61,13 +61,25 @@ class Prediction:
 
 @runtime_checkable
 class Classifier(Protocol):
-    """Protocol implemented by every property classifier."""
+    """Protocol implemented by every property classifier.
+
+    Batch prediction is part of the contract: the verification loop scores
+    every pending claim after every batch, so classifiers must accept a
+    whole feature matrix at once.  ``predict`` is the single-row
+    convenience wrapper over the same path.
+    """
 
     def fit(self, features: np.ndarray, labels: Sequence[str]) -> "Classifier":
-        """Train from scratch on the given samples."""
+        """Train on the given samples."""
 
     def predict(self, features: np.ndarray) -> Prediction:
         """Predict the ranked label distribution for one feature vector."""
+
+    def predict_batch(self, features: np.ndarray) -> list[Prediction]:
+        """Ranked label distributions for every row of a feature matrix."""
+
+    def predict_proba_batch(self, features: np.ndarray) -> np.ndarray:
+        """(rows x classes) probability matrix, aligned with :attr:`classes`."""
 
     @property
     def is_fitted(self) -> bool:
@@ -76,3 +88,17 @@ class Classifier(Protocol):
     @property
     def classes(self) -> tuple[str, ...]:
         """Labels the classifier can currently predict."""
+
+
+def as_single_row(features: np.ndarray) -> np.ndarray:
+    """Validate a single feature vector and shape it as a one-row batch.
+
+    Routing single predictions through the batch path keeps the two bit for
+    bit identical: there is only one implementation to agree with.
+    """
+    vector = np.asarray(features, dtype=float)
+    if vector.ndim == 2 and vector.shape[0] == 1:
+        vector = vector[0]
+    if vector.ndim != 1:
+        raise ValueError("predict expects a single feature vector")
+    return vector[None, :]

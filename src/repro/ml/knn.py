@@ -4,17 +4,25 @@ With only a handful of labelled claims (the cold-start scenario of
 Section 6.2) parametric models barely beat chance; a cosine-similarity k-NN
 over the same feature vectors provides usable rankings from the very first
 labels and is therefore the default model while the training set is tiny.
+
+Prediction is batched: one ``queries @ training.T`` matrix multiplication
+scores every query against every training row, and the top-k neighbours are
+found with :func:`numpy.argpartition` instead of a full per-query sort.
+Tie-breaking at the k-th similarity is deterministic — the lowest training
+indices win — and the single-claim path *is* a one-row batch, so the two
+paths share every instruction: rankings always agree, and probabilities
+match to within the last-ulp reordering BLAS applies to differently shaped
+matrix products.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.errors import NotFittedError
-from repro.ml.base import Prediction
+from repro.ml.base import Prediction, as_single_row
 from repro.ml.encoding import LabelEncoder
 
 
@@ -29,6 +37,7 @@ class KNearestNeighborsClassifier:
         self._features: np.ndarray | None = None
         self._norms: np.ndarray | None = None
         self._targets: np.ndarray | None = None
+        self._target_one_hot: np.ndarray | None = None
 
     def fit(self, features: np.ndarray, labels: Sequence[str]) -> "KNearestNeighborsClassifier":
         features = np.asarray(features, dtype=float)
@@ -42,36 +51,78 @@ class KNearestNeighborsClassifier:
         self._features = features
         self._norms = np.linalg.norm(features, axis=1)
         self._targets = self._encoder.encode(labels)
+        one_hot = np.zeros((features.shape[0], self._encoder.class_count))
+        one_hot[np.arange(features.shape[0]), self._targets] = 1.0
+        self._target_one_hot = one_hot
         return self
 
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
     def predict(self, features: np.ndarray) -> Prediction:
-        if self._features is None or self._targets is None or self._norms is None:
+        return Prediction.from_distribution(
+            self._encoder.classes, self.predict_proba(features)
+        )
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of each known class, aligned with :attr:`classes`."""
+        return self.predict_proba_batch(as_single_row(features))[0]
+
+    def predict_batch(self, features: np.ndarray) -> list[Prediction]:
+        probabilities = self.predict_proba_batch(features)
+        classes = self._encoder.classes
+        return [Prediction.from_distribution(classes, row) for row in probabilities]
+
+    def predict_proba_batch(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities for every query row, in one matrix pass."""
+        if (
+            self._features is None
+            or self._targets is None
+            or self._norms is None
+            or self._target_one_hot is None
+        ):
             raise NotFittedError("KNearestNeighborsClassifier used before fit")
-        vector = np.asarray(features, dtype=float)
-        if vector.ndim == 2 and vector.shape[0] == 1:
-            vector = vector[0]
-        if vector.ndim != 1:
-            raise ValueError("predict expects a single feature vector")
-        query_norm = np.linalg.norm(vector)
-        denominators = self._norms * query_norm
+        queries = np.asarray(features, dtype=float)
+        if queries.ndim != 2:
+            raise ValueError("predict_proba_batch expects a 2-D matrix")
+        if queries.shape[1] != self._features.shape[1]:
+            raise ValueError(
+                f"feature dimension mismatch: got {queries.shape[1]}, "
+                f"expected {self._features.shape[1]}"
+            )
+        sample_count = self._features.shape[0]
+        query_norms = np.linalg.norm(queries, axis=1)
+        denominators = np.outer(query_norms, self._norms)
         denominators[denominators == 0] = 1.0
-        similarities = (self._features @ vector) / denominators
-        neighbour_count = min(self.k, similarities.shape[0])
-        neighbour_indices = np.argsort(-similarities)[:neighbour_count]
-        votes: dict[int, float] = defaultdict(float)
-        for index in neighbour_indices:
-            # Shift similarities into [0, 2] so negative cosine still counts a little.
-            votes[int(self._targets[index])] += float(similarities[index]) + 1.0
-        class_count = self._encoder.class_count
-        scores = np.zeros(class_count)
-        for target, weight in votes.items():
-            scores[target] = weight
-        total = scores.sum()
-        if total <= 0:
-            probabilities = np.full(class_count, 1.0 / class_count)
+        similarities = (queries @ self._features.T) / denominators
+
+        neighbour_count = min(self.k, sample_count)
+        if neighbour_count >= sample_count:
+            selected = np.ones_like(similarities, dtype=bool)
         else:
-            probabilities = scores / total
-        return Prediction.from_distribution(self._encoder.classes, probabilities)
+            # argpartition finds the k-th largest similarity per row without a
+            # full sort; membership of the top-k set is then decided
+            # deterministically — everything strictly above the boundary, and
+            # boundary ties resolved in favour of the lowest training index.
+            partition = np.argpartition(-similarities, neighbour_count - 1, axis=1)
+            boundary = np.take_along_axis(
+                similarities, partition[:, :neighbour_count], axis=1
+            ).min(axis=1)
+            strict = similarities > boundary[:, None]
+            tied = similarities == boundary[:, None]
+            remaining = neighbour_count - strict.sum(axis=1)
+            tie_rank = np.cumsum(tied, axis=1)
+            selected = strict | (tied & (tie_rank <= remaining[:, None]))
+
+        # Shift similarities into [0, 2] so negative cosine still counts a
+        # little, then accumulate per-class votes with one matmul.
+        weights = np.where(selected, similarities + 1.0, 0.0)
+        scores = weights @ self._target_one_hot
+        totals = scores.sum(axis=1, keepdims=True)
+        class_count = self._encoder.class_count
+        uniform = np.full_like(scores, 1.0 / class_count)
+        safe_totals = np.where(totals > 0, totals, 1.0)
+        return np.where(totals > 0, scores / safe_totals, uniform)
 
     @property
     def is_fitted(self) -> bool:

@@ -14,7 +14,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import NotFittedError
-from repro.ml.base import Prediction
+from repro.ml.base import Prediction, as_single_row
 from repro.ml.encoding import LabelEncoder
 
 
@@ -37,6 +37,14 @@ class SoftmaxRegressionClassifier:
         L2 regularisation strength applied to the weights (not the bias).
     seed:
         Seed for the (small) random weight initialisation.
+    warm_start:
+        When ``True``, subsequent :meth:`fit` calls continue the gradient
+        descent from the previous weights instead of re-initialising —
+        the incremental-retraining mode of Algorithm 1, where each batch
+        adds a few dozen samples to an already-fitted model.  Label
+        indices stay stable; columns for newly seen labels are appended.
+        A change in feature dimension (a featurizer refit) falls back to
+        a cold fit automatically.
     """
 
     def __init__(
@@ -45,6 +53,7 @@ class SoftmaxRegressionClassifier:
         epochs: int = 150,
         l2: float = 1e-3,
         seed: int = 0,
+        warm_start: bool = False,
     ) -> None:
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
@@ -56,6 +65,7 @@ class SoftmaxRegressionClassifier:
         self.epochs = epochs
         self.l2 = l2
         self.seed = seed
+        self.warm_start = warm_start
         self._encoder = LabelEncoder()
         self._weights: np.ndarray | None = None
         self._bias: np.ndarray | None = None
@@ -71,13 +81,31 @@ class SoftmaxRegressionClassifier:
             raise ValueError("features and labels must have the same length")
         if features.shape[0] == 0:
             raise ValueError("cannot fit on an empty training set")
-        self._encoder = LabelEncoder().fit(labels)
-        targets = self._encoder.encode(labels)
         sample_count, feature_count = features.shape
-        class_count = self._encoder.class_count
-        generator = np.random.default_rng(self.seed)
-        self._weights = generator.normal(scale=0.01, size=(feature_count, class_count))
-        self._bias = np.zeros(class_count)
+        if (
+            self.warm_start
+            and self._weights is not None
+            and self._bias is not None
+            and self._weights.shape[0] == feature_count
+        ):
+            # Continue from the previous fit: existing label columns keep
+            # their weights, new labels get fresh small-noise columns.
+            self._encoder.partial_fit(labels)
+            class_count = self._encoder.class_count
+            if class_count > self._weights.shape[1]:
+                generator = np.random.default_rng(self.seed)
+                grown = class_count - self._weights.shape[1]
+                self._weights = np.hstack(
+                    [self._weights, generator.normal(scale=0.01, size=(feature_count, grown))]
+                )
+                self._bias = np.concatenate([self._bias, np.zeros(grown)])
+        else:
+            self._encoder = LabelEncoder().fit(labels)
+            class_count = self._encoder.class_count
+            generator = np.random.default_rng(self.seed)
+            self._weights = generator.normal(scale=0.01, size=(feature_count, class_count))
+            self._bias = np.zeros(class_count)
+        targets = self._encoder.encode(labels)
         one_hot = np.zeros((sample_count, class_count))
         one_hot[np.arange(sample_count), targets] = 1.0
         for _ in range(self.epochs):
@@ -99,26 +127,26 @@ class SoftmaxRegressionClassifier:
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """Probability of each known class, aligned with :attr:`classes`."""
-        if self._weights is None or self._bias is None:
-            raise NotFittedError("SoftmaxRegressionClassifier used before fit")
-        vector = np.asarray(features, dtype=float)
-        if vector.ndim == 2 and vector.shape[0] == 1:
-            vector = vector[0]
-        if vector.ndim != 1:
-            raise ValueError("predict expects a single feature vector")
-        if vector.shape[0] != self._weights.shape[0]:
-            raise ValueError(
-                f"feature dimension mismatch: got {vector.shape[0]}, "
-                f"expected {self._weights.shape[0]}"
-            )
-        logits = vector @ self._weights + self._bias
-        return _softmax(logits)
+        return self.predict_proba_batch(as_single_row(features))[0]
 
     def predict_batch(self, features: np.ndarray) -> list[Prediction]:
+        probabilities = self.predict_proba_batch(features)
+        classes = self._encoder.classes
+        return [Prediction.from_distribution(classes, row) for row in probabilities]
+
+    def predict_proba_batch(self, features: np.ndarray) -> np.ndarray:
+        """(rows x classes) probability matrix: one ``X @ W + b`` matmul."""
+        if self._weights is None or self._bias is None:
+            raise NotFittedError("SoftmaxRegressionClassifier used before fit")
         matrix = np.asarray(features, dtype=float)
         if matrix.ndim != 2:
-            raise ValueError("predict_batch expects a 2-D matrix")
-        return [self.predict(row) for row in matrix]
+            raise ValueError("predict_proba_batch expects a 2-D matrix")
+        if matrix.shape[1] != self._weights.shape[0]:
+            raise ValueError(
+                f"feature dimension mismatch: got {matrix.shape[1]}, "
+                f"expected {self._weights.shape[0]}"
+            )
+        return _softmax(matrix @ self._weights + self._bias)
 
     # ------------------------------------------------------------------ #
     # metadata

@@ -14,7 +14,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import NotFittedError
-from repro.ml.base import Prediction
+from repro.ml.base import Prediction, as_single_row
 from repro.ml.encoding import LabelEncoder
 
 
@@ -62,20 +62,28 @@ class MultinomialNaiveBayesClassifier:
         return self
 
     def predict(self, features: np.ndarray) -> Prediction:
+        return Prediction.from_distribution(
+            self._encoder.classes, self.predict_proba_batch(as_single_row(features))[0]
+        )
+
+    def predict_batch(self, features: np.ndarray) -> list[Prediction]:
+        probabilities = self.predict_proba_batch(features)
+        classes = self._encoder.classes
+        return [Prediction.from_distribution(classes, row) for row in probabilities]
+
+    def predict_proba_batch(self, features: np.ndarray) -> np.ndarray:
+        """(rows x classes) posterior matrix in one matrix multiplication."""
         if self._log_prior is None or self._log_likelihood is None:
             raise NotFittedError("MultinomialNaiveBayesClassifier used before fit")
-        vector = np.asarray(features, dtype=float)
-        if vector.ndim == 2 and vector.shape[0] == 1:
-            vector = vector[0]
-        if vector.ndim != 1:
-            raise ValueError("predict expects a single feature vector")
-        if np.any(vector < 0):
-            vector = vector - vector.min()
-        log_posterior = self._log_prior + self._log_likelihood @ vector
-        log_posterior -= log_posterior.max()
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("predict_proba_batch expects a 2-D matrix")
+        row_minima = matrix.min(axis=1, keepdims=True)
+        matrix = np.where(row_minima < 0, matrix - row_minima, matrix)
+        log_posterior = self._log_prior[None, :] + matrix @ self._log_likelihood.T
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
         posterior = np.exp(log_posterior)
-        posterior /= posterior.sum()
-        return Prediction.from_distribution(self._encoder.classes, posterior)
+        return posterior / posterior.sum(axis=1, keepdims=True)
 
     @property
     def is_fitted(self) -> bool:

@@ -1,0 +1,201 @@
+"""Batch prediction containers: the matrix is the unit of work.
+
+:class:`ClaimBatchPredictions` holds, for every property, one probability
+matrix over the classifier's label space, with one row per claim.  The
+planner scores whole batches from these arrays (entropies, top-k option
+probabilities) without ever materializing per-claim dictionaries; ranked
+:class:`~repro.ml.base.Prediction` objects are built lazily, only for the
+claims actually selected into a batch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.claims.model import ClaimProperty
+from repro.ml.base import Prediction
+
+__all__ = ["ClaimBatchPredictions", "PropertyBatch"]
+
+
+@dataclass(frozen=True)
+class PropertyBatch:
+    """One property's predictions for a batch of claims.
+
+    ``probabilities[i, j]`` is the probability of ``labels[j]`` for the
+    ``i``-th claim of the batch, in the classifier's native label order
+    (not ranked).
+    """
+
+    labels: tuple[str, ...]
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.probabilities.ndim != 2:
+            raise ValueError("probabilities must be a (claims x labels) matrix")
+        if self.probabilities.shape[1] != len(self.labels):
+            raise ValueError("probabilities and labels must be aligned")
+
+    def prediction(self, index: int) -> Prediction:
+        """The ranked distribution for one claim (same path as ``predict``)."""
+        return Prediction.from_distribution(self.labels, self.probabilities[index])
+
+    def entropies(self) -> np.ndarray:
+        """Shannon entropy of every row (matches ``Prediction.entropy``)."""
+        probabilities = self.probabilities
+        contributions = np.where(
+            probabilities > 0,
+            -probabilities * np.log(np.where(probabilities > 0, probabilities, 1.0)),
+            0.0,
+        )
+        return contributions.sum(axis=1)
+
+    def top_probabilities(self, count: int) -> np.ndarray:
+        """Per row, the ``count`` largest probabilities in descending order.
+
+        Matches the probability sequence of ``Prediction.top_k(count)``:
+        label-order tie-breaking differs, but the sorted probability values —
+        all the cost model consumes — are identical.
+        """
+        width = min(count, self.probabilities.shape[1])
+        if width <= 0:
+            return np.zeros((self.probabilities.shape[0], 0))
+        return -np.sort(-self.probabilities, axis=1)[:, :width]
+
+
+class ClaimBatchPredictions:
+    """Predictions for a batch of claims across all four properties.
+
+    ``present`` (optional, claims x properties, aligned with
+    ``by_property`` order) marks which claims actually carry a prediction
+    for each property.  Native batch backends predict every property for
+    every claim, so the mask defaults to all-true; it only matters for
+    batches adapted from per-claim dictionaries where a backend omitted
+    properties for some claims.
+    """
+
+    def __init__(
+        self,
+        claim_ids: Sequence[str],
+        by_property: Mapping[ClaimProperty, PropertyBatch],
+        present: np.ndarray | None = None,
+    ) -> None:
+        self.claim_ids = tuple(claim_ids)
+        self.by_property = dict(by_property)
+        self._index_of = {claim_id: index for index, claim_id in enumerate(self.claim_ids)}
+        self._entropy_matrix: np.ndarray | None = None
+        for claim_property, batch in self.by_property.items():
+            if batch.probabilities.shape[0] != len(self.claim_ids):
+                raise ValueError(
+                    f"{claim_property.value}: row count does not match claim_ids"
+                )
+        if present is not None and present.shape != (
+            len(self.claim_ids),
+            len(self.by_property),
+        ):
+            raise ValueError("present mask must be a (claims x properties) matrix")
+        self.present = present
+
+    def __len__(self) -> int:
+        return len(self.claim_ids)
+
+    def __contains__(self, claim_id: object) -> bool:
+        return claim_id in self._index_of
+
+    @property
+    def properties(self) -> tuple[ClaimProperty, ...]:
+        return tuple(self.by_property)
+
+    # ------------------------------------------------------------------ #
+    # array access (planning hot path)
+    # ------------------------------------------------------------------ #
+    def entropy_matrix(self) -> np.ndarray:
+        """(claims x properties) entropy matrix, properties in batch order.
+
+        Computed once and cached: cost and utility scoring both consume it
+        on every planning pass.
+        """
+        if self._entropy_matrix is None:
+            if not self.by_property:
+                self._entropy_matrix = np.zeros((len(self.claim_ids), 0))
+            else:
+                self._entropy_matrix = np.column_stack(
+                    [batch.entropies() for batch in self.by_property.values()]
+                )
+        return self._entropy_matrix
+
+    # ------------------------------------------------------------------ #
+    # per-claim materialization (selected claims only)
+    # ------------------------------------------------------------------ #
+    def predictions_at(self, index: int) -> dict[ClaimProperty, Prediction]:
+        """Ranked per-property predictions for the ``index``-th claim.
+
+        Properties the backend never predicted for this claim (possible
+        only in adapted batches) are omitted, exactly as the per-claim
+        ``predict`` would have.
+        """
+        return {
+            claim_property: batch.prediction(index)
+            for column, (claim_property, batch) in enumerate(self.by_property.items())
+            if self.present is None or self.present[index, column]
+        }
+
+    def predictions_for(self, claim_id: str) -> dict[ClaimProperty, Prediction]:
+        """Ranked per-property predictions for one claim of the batch."""
+        return self.predictions_at(self._index_of[claim_id])
+
+    def as_prediction_dicts(self) -> list[dict[ClaimProperty, Prediction]]:
+        """Materialize every claim's ranked predictions, in batch order."""
+        return [self.predictions_at(index) for index in range(len(self.claim_ids))]
+
+    @classmethod
+    def from_prediction_dicts(
+        cls,
+        claim_ids: Sequence[str],
+        predictions: Sequence[Mapping[ClaimProperty, Prediction]],
+    ) -> "ClaimBatchPredictions":
+        """Adapt per-claim prediction dicts into the batched representation.
+
+        Compatibility path for translation backends that only implement the
+        single-claim ``predict``: label spaces are unioned per property,
+        with absent labels at probability zero, and the ``present`` mask
+        records which claims actually carried each property so scoring and
+        materialization treat omissions like the per-claim path did.
+        """
+        if len(claim_ids) != len(predictions):
+            raise ValueError("claim_ids and predictions must be aligned")
+        by_property: dict[ClaimProperty, PropertyBatch] = {}
+        properties: list[ClaimProperty] = []
+        for per_claim in predictions:
+            for claim_property in per_claim:
+                if claim_property not in properties:
+                    properties.append(claim_property)
+        present = np.zeros((len(predictions), len(properties)), dtype=bool)
+        for column, claim_property in enumerate(properties):
+            for row, per_claim in enumerate(predictions):
+                present[row, column] = claim_property in per_claim
+        for claim_property in properties:
+            labels: list[str] = []
+            label_index: dict[str, int] = {}
+            for per_claim in predictions:
+                prediction = per_claim.get(claim_property)
+                if prediction is None:
+                    continue
+                for label in prediction.labels:
+                    if label not in label_index:
+                        label_index[label] = len(labels)
+                        labels.append(label)
+            matrix = np.zeros((len(predictions), len(labels)))
+            for row, per_claim in enumerate(predictions):
+                prediction = per_claim.get(claim_property)
+                if prediction is None:
+                    continue
+                for label, probability in zip(prediction.labels, prediction.probabilities):
+                    matrix[row, label_index[label]] = probability
+            by_property[claim_property] = PropertyBatch(
+                labels=tuple(labels), probabilities=matrix
+            )
+        return cls(claim_ids, by_property, present=present if properties else None)

@@ -1,0 +1,101 @@
+"""Shared claim-feature store with generation-based invalidation.
+
+Featurization is the single most repeated computation of the verification
+loop: Algorithm 1 re-predicts the four properties of every pending claim
+after every batch, and every prediction starts from the same feature
+vector.  The store featurizes each claim exactly once per *featurizer
+generation* and serves whole row matrices, so the classifiers can run one
+matrix multiplication per property instead of per-claim Python loops.
+
+Generations make the cache safe: every
+:meth:`~repro.text.features.ClaimFeaturizer.fit` bumps the featurizer's
+generation, and the store discards all cached rows the moment its recorded
+generation no longer matches the preprocessor's — the bug class where a
+refit silently kept serving vectors from the old vocabulary cannot occur.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.claims.model import Claim
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime: the
+    # preprocessor package imports the pipeline for its classifier suite.
+    from repro.translation.preprocess import ClaimPreprocessor
+
+__all__ = ["ClaimFeatureStore"]
+
+
+class ClaimFeatureStore:
+    """Caches featurized claim rows keyed by claim id.
+
+    The store never featurizes a claim twice within one featurizer
+    generation, and batch requests featurize all missing claims in a single
+    :meth:`~repro.translation.preprocess.ClaimPreprocessor.feature_matrix`
+    call.  Rows are returned read-only so a cached vector can be handed to
+    many consumers without defensive copies.
+    """
+
+    def __init__(self, preprocessor: ClaimPreprocessor) -> None:
+        self._preprocessor = preprocessor
+        self._rows: dict[str, np.ndarray] = {}
+        self._generation = preprocessor.feature_generation
+
+    @property
+    def preprocessor(self) -> ClaimPreprocessor:
+        return self._preprocessor
+
+    @property
+    def generation(self) -> int:
+        """The featurizer generation the cached rows belong to."""
+        self._sync_generation()
+        return self._generation
+
+    @property
+    def cached_count(self) -> int:
+        self._sync_generation()
+        return len(self._rows)
+
+    def invalidate(self) -> None:
+        """Drop every cached row (also happens automatically on refits)."""
+        self._rows.clear()
+        self._generation = self._preprocessor.feature_generation
+
+    def _sync_generation(self) -> None:
+        if self._generation != self._preprocessor.feature_generation:
+            self.invalidate()
+
+    # ------------------------------------------------------------------ #
+    # featurization
+    # ------------------------------------------------------------------ #
+    def vector(self, claim: Claim) -> np.ndarray:
+        """The feature row of one claim (cached, read-only)."""
+        self._sync_generation()
+        row = self._rows.get(claim.claim_id)
+        if row is None:
+            row = np.asarray(self._preprocessor.preprocess(claim).features, dtype=float)
+            row.setflags(write=False)
+            self._rows[claim.claim_id] = row
+        return row
+
+    def matrix(self, claims: Sequence[Claim]) -> np.ndarray:
+        """Feature matrix with one row per claim, in claim order.
+
+        Missing claims are featurized together in one call; cached claims
+        are served from the store.
+        """
+        self._sync_generation()
+        missing = [claim for claim in claims if claim.claim_id not in self._rows]
+        if missing:
+            computed = self._preprocessor.feature_matrix(missing)
+            for index, claim in enumerate(missing):
+                row = np.ascontiguousarray(computed[index], dtype=float)
+                row.setflags(write=False)
+                self._rows[claim.claim_id] = row
+        if not claims:
+            return np.zeros((0, self._preprocessor.featurizer.dimension))
+        return np.vstack([self._rows[claim.claim_id] for claim in claims])

@@ -9,9 +9,13 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.claims.model import Claim, ClaimProperty
 from repro.config import ScrutinizerConfig
 from repro.ml.base import Prediction
+from repro.pipeline.batch import ClaimBatchPredictions
+from repro.pipeline.scoring import estimate_costs, estimate_utilities
 from repro.planning.batching import BatchCandidate, ClaimSelection, select_claim_batch
 from repro.planning.costmodel import VerificationCostModel
 from repro.planning.options import AnswerOption, options_from_prediction, order_options
@@ -158,6 +162,26 @@ class QuestionPlanner:
     def estimate_utility(self, predictions: Mapping[ClaimProperty, Prediction]) -> float:
         """Training utility ``u(c)`` for one claim."""
         return claim_training_utility(predictions)
+
+    def estimate_costs_batch(self, batch: ClaimBatchPredictions) -> np.ndarray:
+        """Expected verification cost for every claim of a batch at once.
+
+        Vectorized equivalent of calling :meth:`estimate_cost` per claim:
+        the per-batch planning hot path scores all pending claims from the
+        batch's probability matrices instead of dicts-of-dicts.
+        """
+        return estimate_costs(
+            batch,
+            option_count=self.config.resolved_option_count(),
+            screen_count=min(
+                self.config.resolved_screen_count(), len(ClaimProperty.ordered())
+            ),
+            cost_model=self.cost_model,
+        )
+
+    def estimate_utilities_batch(self, batch: ClaimBatchPredictions) -> np.ndarray:
+        """Training utility for every claim of a batch at once."""
+        return estimate_utilities(batch)
 
     # ------------------------------------------------------------------ #
     # claim ordering (Section 5.2)

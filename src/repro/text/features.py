@@ -56,9 +56,13 @@ class FeaturizerConfig:
 class ClaimFeaturizer:
     """Fits the Figure 4 pipeline on a corpus and featurises claims.
 
-    The featurizer is fitted once on the texts available at bootstrap time
-    and reused throughout verification; refitting it would change feature
-    indices and invalidate the incremental classifiers.
+    The featurizer is usually fitted once on the texts available at
+    bootstrap time and reused throughout verification.  Refitting changes
+    feature indices, so every ``fit`` bumps :attr:`generation`; consumers
+    caching feature vectors (the pipeline's
+    :class:`~repro.pipeline.feature_store.ClaimFeatureStore`) compare
+    generations to discard stale rows, and the incremental classifiers
+    restart from scratch rather than warm-starting across generations.
     """
 
     def __init__(self, config: FeaturizerConfig | None = None) -> None:
@@ -78,6 +82,7 @@ class ClaimFeaturizer:
             min_df=self.config.min_df,
         )
         self._fitted = False
+        self._generation = 0
 
     # ------------------------------------------------------------------ #
     # analyzers
@@ -105,6 +110,7 @@ class ClaimFeaturizer:
         self._word_tfidf.fit(claim_texts)
         self._char_tfidf.fit(claim_texts)
         self._fitted = True
+        self._generation += 1
         return self
 
     def transform(self, claim_text: str, sentence_text: str | None = None) -> FeatureVector:
@@ -152,3 +158,22 @@ class ClaimFeaturizer:
     @property
     def is_fitted(self) -> bool:
         return self._fitted
+
+    @property
+    def generation(self) -> int:
+        """How many times :meth:`fit` has run; 0 before the first fit."""
+        return self._generation
+
+    def unseen_terms(self, claim_texts: Sequence[str]) -> set[str]:
+        """Word and character n-grams of ``claim_texts`` new since the last fit.
+
+        Measured against *everything* the fit corpus contained (not just the
+        terms kept after ``max_features`` pruning), so texts already seen at
+        fit time always report zero — only genuinely new vocabulary counts
+        toward a refit decision.
+        """
+        if not self._fitted:
+            raise NotFittedError("ClaimFeaturizer.unseen_terms called before fit")
+        unseen = self._word_tfidf.unseen_terms(claim_texts)
+        unseen |= self._char_tfidf.unseen_terms(claim_texts)
+        return unseen

@@ -68,6 +68,7 @@ class TfidfVectorizer:
         self.min_df = min_df
         self._vocabulary: dict[str, int] = {}
         self._idf: np.ndarray | None = None
+        self._seen_terms: frozenset[str] = frozenset()
 
     # ------------------------------------------------------------------ #
     # fitting
@@ -80,6 +81,10 @@ class TfidfVectorizer:
             document_frequency.update(set(self.analyzer(document)))
         if document_count == 0:
             raise ValueError("cannot fit a TF-IDF vectorizer on an empty corpus")
+        # Every term of the fit corpus, before min_df / max_features pruning:
+        # the basis for deciding whether later documents carry genuinely new
+        # vocabulary (and hence whether a refit would change anything).
+        self._seen_terms = frozenset(document_frequency)
         eligible = [
             (term, frequency)
             for term, frequency in document_frequency.items()
@@ -111,6 +116,15 @@ class TfidfVectorizer:
     @property
     def dimension(self) -> int:
         return len(self._vocabulary)
+
+    def unseen_terms(self, documents: Iterable[str]) -> set[str]:
+        """Distinct analyzer terms of ``documents`` absent from the fit corpus."""
+        unseen: set[str] = set()
+        for document in documents:
+            for term in self.analyzer(document):
+                if term not in self._seen_terms:
+                    unseen.add(term)
+        return unseen
 
     def transform_one(self, document: str) -> np.ndarray:
         if self._idf is None:

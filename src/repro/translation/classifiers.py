@@ -5,12 +5,21 @@ attribute labels and formulas — each trained over the Figure 4 features.
 The suite keeps all four aligned, retrains them as labelled claims arrive
 (active learning) and exposes the ranked probability distributions consumed
 by query generation and by question planning.
+
+The suite is batch-first: features come from a shared
+:class:`~repro.pipeline.feature_store.ClaimFeatureStore` (featurize once
+per featurizer generation), prediction for many claims is one matrix
+multiplication per property (:meth:`PropertyClassifierSuite.predict_many`),
+and retraining is incremental — softmax weights warm-start from the
+previous fit, and the TF-IDF vocabulary is only refit once enough unseen
+n-grams have accumulated (which bumps the feature generation and restarts
+the models cold).
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,6 +28,8 @@ from repro.errors import NotFittedError, TranslationError
 from repro.ml.base import Prediction
 from repro.ml.knn import KNearestNeighborsClassifier
 from repro.ml.logistic import SoftmaxRegressionClassifier
+from repro.pipeline.batch import ClaimBatchPredictions, PropertyBatch
+from repro.pipeline.feature_store import ClaimFeatureStore
 from repro.translation.preprocess import ClaimPreprocessor
 
 
@@ -42,7 +53,16 @@ class TrainingExample:
 
 @dataclass
 class SuiteConfig:
-    """Model-selection knobs of the classifier suite."""
+    """Model-selection knobs of the classifier suite.
+
+    ``warm_start`` and ``vocabulary_refit_threshold`` mirror the
+    user-facing knobs on :class:`~repro.config.TranslationConfig`;
+    :class:`~repro.translation.translator.ClaimTranslator` copies them
+    from there when no explicit ``SuiteConfig`` is given.  An explicit
+    ``SuiteConfig`` takes full precedence — set these fields on it
+    directly rather than expecting the translation config to shine
+    through.
+    """
 
     #: Below this many training samples the k-NN fallback is used.
     parametric_threshold: int = 40
@@ -51,6 +71,11 @@ class SuiteConfig:
     epochs: int = 120
     l2: float = 1e-3
     seed: int = 0
+    #: Warm-start softmax retrains from the previous weights.
+    warm_start: bool = True
+    #: Refit the TF-IDF vocabulary after this many accumulated unseen
+    #: n-grams (0 disables; see ``TranslationConfig``).
+    vocabulary_refit_threshold: int = 200
 
 
 class PropertyClassifierSuite:
@@ -65,8 +90,17 @@ class PropertyClassifierSuite:
         self._config = config if config is not None else SuiteConfig()
         self._models: dict[ClaimProperty, object] = {}
         self._examples: list[TrainingExample] = []
-        self._feature_cache: dict[str, np.ndarray] = {}
+        self._store = ClaimFeatureStore(preprocessor)
         self._retrain_count = 0
+        #: Feature generation the current models were trained on; a refit
+        #: of the vocabulary invalidates warm starts along with the cache.
+        self._models_generation: int | None = None
+        #: Distinct n-grams in accumulated examples that the featurizer has
+        #: never seen; crossing the threshold triggers a vocabulary refit.
+        self._unseen_terms: set[str] = set()
+        #: How many of ``self._examples`` are already part of the
+        #: featurizer's fit corpus (avoids re-absorbing texts on refits).
+        self._absorbed_example_count = 0
 
     # ------------------------------------------------------------------ #
     # training data management
@@ -83,16 +117,38 @@ class PropertyClassifierSuite:
     def preprocessor(self) -> ClaimPreprocessor:
         return self._preprocessor
 
+    @property
+    def feature_store(self) -> ClaimFeatureStore:
+        """The shared claim-feature cache (generation-invalidated)."""
+        return self._store
+
+    @property
+    def feature_generation(self) -> int:
+        """The featurizer generation currently being served."""
+        return self._store.generation
+
+    @property
+    def pending_unseen_term_count(self) -> int:
+        """Unseen n-grams accumulated toward the next vocabulary refit."""
+        return len(self._unseen_terms)
+
     def add_examples(self, examples: Sequence[TrainingExample]) -> None:
         """Accumulate labelled claims without retraining yet."""
         self._examples.extend(examples)
+        self._track_unseen_terms(examples)
+
+    def _track_unseen_terms(self, examples: Sequence[TrainingExample]) -> None:
+        if self._config.vocabulary_refit_threshold <= 0:
+            return
+        if not self._preprocessor.is_fitted:
+            return
+        self._unseen_terms |= self._preprocessor.unseen_terms(
+            [example.claim for example in examples]
+        )
 
     def _features_of(self, claim: Claim) -> np.ndarray:
-        cached = self._feature_cache.get(claim.claim_id)
-        if cached is None:
-            cached = self._preprocessor.preprocess(claim).features
-            self._feature_cache[claim.claim_id] = cached
-        return cached
+        """One cached feature row (generation-tagged; never stale)."""
+        return self._store.vector(claim)
 
     # ------------------------------------------------------------------ #
     # (re)training
@@ -101,14 +157,25 @@ class PropertyClassifierSuite:
         """Train all four classifiers on the accumulated examples."""
         if examples is not None:
             self._examples = list(examples)
+            self._unseen_terms = set()
+            self._absorbed_example_count = 0
+            self._track_unseen_terms(self._examples)
         if not self._examples:
             raise TranslationError("cannot train the classifier suite without examples")
-        features = np.vstack([self._features_of(example.claim) for example in self._examples])
+        self._maybe_refit_vocabulary()
+        features = self._store.matrix([example.claim for example in self._examples])
+        generation = self._store.generation
+        warm_eligible = self._config.warm_start and generation == self._models_generation
         for claim_property in ClaimProperty.ordered():
             labels = [example.labels[claim_property] for example in self._examples]
-            model = self._make_model(len(self._examples), len(set(labels)))
+            model = self._resolve_model(
+                self._models.get(claim_property) if warm_eligible else None,
+                len(self._examples),
+                len(set(labels)),
+            )
             model.fit(features, labels)
             self._models[claim_property] = model
+        self._models_generation = generation
         self._retrain_count += 1
         return self
 
@@ -116,6 +183,33 @@ class PropertyClassifierSuite:
         """Add newly verified claims as training samples and refit (Algorithm 1)."""
         self.add_examples(new_examples)
         return self.fit()
+
+    def _maybe_refit_vocabulary(self) -> None:
+        """Absorb accumulated unseen vocabulary once it crosses the threshold.
+
+        The refit extends the featurizer's fit corpus with the not-yet
+        absorbed example texts and bumps the feature generation: the shared
+        store drops every cached row and the next ``fit`` restarts the
+        models cold (warm starts across feature spaces would be garbage).
+        """
+        threshold = self._config.vocabulary_refit_threshold
+        if threshold <= 0 or not self._preprocessor.is_fitted:
+            return
+        if len(self._unseen_terms) < threshold:
+            return
+        fresh = self._examples[self._absorbed_example_count :]
+        self._preprocessor.refit_with([example.claim for example in fresh])
+        self._absorbed_example_count = len(self._examples)
+        self._unseen_terms = set()
+
+    def _resolve_model(self, previous: object | None, sample_count: int, class_count: int):
+        """Pick the model for one property, continuing a warm fit if possible."""
+        wants_parametric = (
+            sample_count >= self._config.parametric_threshold and class_count >= 2
+        )
+        if wants_parametric and isinstance(previous, SoftmaxRegressionClassifier):
+            return previous
+        return self._make_model(sample_count, class_count)
 
     def _make_model(self, sample_count: int, class_count: int):
         if sample_count < self._config.parametric_threshold or class_count < 2:
@@ -125,6 +219,7 @@ class PropertyClassifierSuite:
             epochs=self._config.epochs,
             l2=self._config.l2,
             seed=self._config.seed,
+            warm_start=self._config.warm_start,
         )
 
     # ------------------------------------------------------------------ #
@@ -136,13 +231,36 @@ class PropertyClassifierSuite:
 
     def predict(self, claim: Claim) -> dict[ClaimProperty, Prediction]:
         """Ranked label distributions for all four properties of one claim."""
+        return self.predict_many([claim])[0]
+
+    def predict_many(
+        self, claims: Sequence[Claim]
+    ) -> list[dict[ClaimProperty, Prediction]]:
+        """Ranked predictions for every claim, from one feature matrix."""
+        return self.predict_proba_many(claims).as_prediction_dicts()
+
+    def predict_proba_many(self, claims: Sequence[Claim]) -> ClaimBatchPredictions:
+        """Batch predictions as per-property probability matrices.
+
+        The hot path of the verification loop: one feature-store lookup for
+        the whole batch, then one ``X @ W`` per property.  Ranked
+        per-claim :class:`~repro.ml.base.Prediction` objects are
+        materialized lazily by the returned batch, typically only for the
+        claims selected into the next crowd batch.
+        """
         if not self.is_trained:
             raise NotFittedError("the classifier suite has not been trained yet")
-        features = self._features_of(claim)
-        return {
-            claim_property: model.predict(features)
+        features = self._store.matrix(claims)
+        by_property = {
+            claim_property: PropertyBatch(
+                labels=model.classes,
+                probabilities=model.predict_proba_batch(features),
+            )
             for claim_property, model in self._models.items()
         }
+        return ClaimBatchPredictions(
+            [claim.claim_id for claim in claims], by_property
+        )
 
     def predict_property(self, claim: Claim, claim_property: ClaimProperty) -> Prediction:
         if not self.is_trained:
@@ -170,11 +288,13 @@ class PropertyClassifierSuite:
             raise ValueError("claims and truths must be aligned")
         if not claims:
             return {claim_property: 0.0 for claim_property in ClaimProperty.ordered()}
+        batch = self.predict_proba_many(claims)
         scores: dict[ClaimProperty, float] = {}
         for claim_property in ClaimProperty.ordered():
+            property_batch = batch.by_property[claim_property]
             hits = 0
-            for claim, truth in zip(claims, truths):
-                prediction = self.predict_property(claim, claim_property)
+            for index, truth in enumerate(truths):
+                prediction = property_batch.prediction(index)
                 top_labels = {label for label, _ in prediction.top_k(top_k)}
                 if set(truth.property_labels(claim_property)) & top_labels:
                     hits += 1

@@ -41,6 +41,8 @@ class ClaimPreprocessor:
         self._featurizer = featurizer if featurizer is not None else ClaimFeaturizer(
             FeaturizerConfig()
         )
+        self._fitted_claim_texts: list[str] = []
+        self._fitted_sentence_texts: list[str] = []
 
     @property
     def featurizer(self) -> ClaimFeaturizer:
@@ -48,14 +50,52 @@ class ClaimPreprocessor:
 
     def fit(self, claims: Sequence[Claim]) -> "ClaimPreprocessor":
         """Fit the feature pipeline on the claims available at bootstrap."""
-        claim_texts = [claim.text for claim in claims]
-        sentence_texts = [claim.context_text for claim in claims]
+        return self.fit_texts(
+            [claim.text for claim in claims],
+            [claim.context_text for claim in claims],
+        )
+
+    def fit_texts(self, claim_texts: Sequence[str], sentence_texts: Sequence[str] | None = None) -> "ClaimPreprocessor":
+        self._fitted_claim_texts = list(claim_texts)
+        self._fitted_sentence_texts = (
+            list(sentence_texts) if sentence_texts is not None else list(claim_texts)
+        )
         self._featurizer.fit(claim_texts, sentence_texts)
         return self
 
-    def fit_texts(self, claim_texts: Sequence[str], sentence_texts: Sequence[str] | None = None) -> "ClaimPreprocessor":
-        self._featurizer.fit(claim_texts, sentence_texts)
-        return self
+    def refit_with(self, claims: Sequence[Claim]) -> "ClaimPreprocessor":
+        """Refit the featurizer on the fit corpus extended with ``claims``.
+
+        Used by incremental retraining once enough unseen vocabulary has
+        accumulated: the TF-IDF vocabularies absorb the new texts while the
+        original corpus keeps anchoring the document frequencies.  Texts
+        already in the fit corpus are skipped, so re-absorbing a claim
+        cannot inflate its terms' document frequencies; when nothing new
+        remains the refit is skipped entirely.  A real refit bumps
+        :attr:`feature_generation`, discarding cached feature rows.
+        """
+        existing = set(zip(self._fitted_claim_texts, self._fitted_sentence_texts))
+        fresh: list[Claim] = []
+        for claim in claims:
+            key = (claim.text, claim.context_text)
+            if key not in existing:
+                existing.add(key)
+                fresh.append(claim)
+        if not fresh:
+            return self
+        return self.fit_texts(
+            self._fitted_claim_texts + [claim.text for claim in fresh],
+            self._fitted_sentence_texts + [claim.context_text for claim in fresh],
+        )
+
+    def unseen_terms(self, claims: Sequence[Claim]) -> set[str]:
+        """N-grams in ``claims`` that the fitted featurizer has never seen."""
+        return self._featurizer.unseen_terms([claim.text for claim in claims])
+
+    @property
+    def feature_generation(self) -> int:
+        """Generation of the underlying featurizer (bumped on every refit)."""
+        return self._featurizer.generation
 
     def preprocess(self, claim: Claim) -> PreprocessedClaim:
         """Featurise one claim and extract its numeric parameter."""

@@ -19,6 +19,7 @@ from repro.errors import FormulaSyntaxError, TranslationError
 from repro.formulas.ast import Formula
 from repro.formulas.parser import parse_formula
 from repro.ml.base import Prediction
+from repro.pipeline.batch import ClaimBatchPredictions
 from repro.translation.classifiers import PropertyClassifierSuite, SuiteConfig, TrainingExample
 from repro.translation.preprocess import ClaimPreprocessor
 from repro.translation.querygen import QueryGenerationResult, QueryGenerator
@@ -61,6 +62,11 @@ class ClaimTranslator:
         self.config = config if config is not None else TranslationConfig()
         self._database = database
         self._preprocessor = preprocessor if preprocessor is not None else ClaimPreprocessor()
+        if suite_config is None:
+            suite_config = SuiteConfig(
+                warm_start=self.config.warm_start,
+                vocabulary_refit_threshold=self.config.vocabulary_refit_threshold,
+            )
         self._suite = PropertyClassifierSuite(self._preprocessor, suite_config)
         self._generator = QueryGenerator(
             database, config=self.config, key_attribute=key_attribute
@@ -135,8 +141,23 @@ class ClaimTranslator:
     # prediction and generation
     # ------------------------------------------------------------------ #
     def predict(self, claim: Claim) -> dict[ClaimProperty, Prediction]:
-        """Ranked property predictions for one claim."""
+        """Ranked property predictions for one claim.
+
+        Thin wrapper over the batch path (a one-claim batch), kept for API
+        compatibility.
+        """
         return self._suite.predict(claim)
+
+    def predict_many(self, claims: Sequence[Claim]) -> ClaimBatchPredictions:
+        """Predictions for many claims from one feature matrix.
+
+        The batch front door of the translation component: one shared
+        feature-store lookup, one matrix multiplication per property.  The
+        returned :class:`~repro.pipeline.batch.ClaimBatchPredictions`
+        serves both array consumers (batch-selection scoring) and ranked
+        per-claim dictionaries (question planning for selected claims).
+        """
+        return self._suite.predict_proba_many(claims)
 
     def candidate_labels(
         self, claim: Claim, claim_property: ClaimProperty, top_k: int | None = None

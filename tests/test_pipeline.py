@@ -1,0 +1,640 @@
+"""Tests for the vectorized claim pipeline.
+
+Covers the shared feature store (generation-based invalidation, the stale
+cache regression), batch-vs-single prediction equivalence across the
+cold-start (k-NN) and parametric (softmax) regimes, incremental retraining
+(warm starts, vocabulary refits), vectorized batch scoring, and the
+machine-time accounting of the verification service.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.builder import ScrutinizerBuilder
+from repro.claims.model import Claim, ClaimProperty
+from repro.config import BatchingConfig, ScrutinizerConfig, TranslationConfig
+from repro.crowd.worker import CheckerResponse
+from repro.ml.knn import KNearestNeighborsClassifier
+from repro.ml.logistic import SoftmaxRegressionClassifier
+from repro.ml.naive_bayes import MultinomialNaiveBayesClassifier
+from repro.pipeline.batch import ClaimBatchPredictions, PropertyBatch
+from repro.pipeline.feature_store import ClaimFeatureStore
+from repro.planning.planner import QuestionPlanner
+from repro.translation.classifiers import (
+    PropertyClassifierSuite,
+    SuiteConfig,
+    TrainingExample,
+)
+from repro.translation.preprocess import ClaimPreprocessor
+
+
+def _claim(claim_id: str, text: str) -> Claim:
+    return Claim(
+        claim_id=claim_id,
+        text=text,
+        sentence_text=text,
+        section_id="s1",
+        is_explicit=True,
+        parameter=0.03,
+    )
+
+
+def _examples(count: int = 12, offset: int = 0) -> list[TrainingExample]:
+    examples = []
+    for index in range(count):
+        if index % 2 == 0:
+            claim = _claim(
+                f"c{offset + index}",
+                f"electricity demand grew by 3% in 201{index % 8}",
+            )
+            labels = {
+                ClaimProperty.RELATION: "GED",
+                ClaimProperty.KEY: "PGElecDemand",
+                ClaimProperty.ATTRIBUTE: "2017",
+                ClaimProperty.FORMULA: "((a / b) - 1)",
+            }
+        else:
+            claim = _claim(
+                f"c{offset + index}",
+                f"coal supply reached 2 390 Mtoe in 201{index % 8}",
+            )
+            labels = {
+                ClaimProperty.RELATION: "WEO_Power",
+                ClaimProperty.KEY: "PGINCoal",
+                ClaimProperty.ATTRIBUTE: "2016",
+                ClaimProperty.FORMULA: "a",
+            }
+        examples.append(TrainingExample(claim=claim, labels=labels))
+    return examples
+
+
+def _blobs(seed: int = 0, samples_per_class: int = 30, dimension: int = 10):
+    rng = np.random.default_rng(seed)
+    features, labels = [], []
+    for index, label in enumerate(["alpha", "beta", "gamma"]):
+        center = np.zeros(dimension)
+        center[index] = 5.0
+        features.append(
+            rng.normal(loc=center, scale=0.5, size=(samples_per_class, dimension))
+        )
+        labels.extend([label] * samples_per_class)
+    return np.vstack(features), labels
+
+
+# --------------------------------------------------------------------- #
+# feature store
+# --------------------------------------------------------------------- #
+class TestClaimFeatureStore:
+    def _store(self):
+        examples = _examples()
+        claims = [example.claim for example in examples]
+        preprocessor = ClaimPreprocessor().fit(claims)
+        return ClaimFeatureStore(preprocessor), claims, preprocessor
+
+    def test_vector_is_cached_and_read_only(self):
+        store, claims, preprocessor = self._store()
+        first = store.vector(claims[0])
+        assert store.cached_count == 1
+        assert store.vector(claims[0]) is first
+        assert not first.flags.writeable
+        np.testing.assert_array_equal(
+            first, preprocessor.preprocess(claims[0]).features
+        )
+
+    def test_matrix_matches_per_claim_vectors(self):
+        store, claims, _ = self._store()
+        matrix = store.matrix(claims)
+        assert matrix.shape[0] == len(claims)
+        for index, claim in enumerate(claims):
+            np.testing.assert_array_equal(matrix[index], store.vector(claim))
+
+    def test_matrix_serves_cached_rows(self):
+        store, claims, _ = self._store()
+        store.matrix(claims)
+        assert store.cached_count == len(claims)
+        cached_row = store.vector(claims[3])
+        np.testing.assert_array_equal(store.matrix(claims)[3], cached_row)
+
+    def test_refit_invalidates_cached_rows(self):
+        store, claims, preprocessor = self._store()
+        store.matrix(claims)
+        generation = store.generation
+        preprocessor.fit_texts(["entirely new vocabulary about solar farms"])
+        assert store.generation == generation + 1
+        assert store.cached_count == 0
+        fresh = store.vector(claims[0])
+        np.testing.assert_array_equal(
+            fresh, preprocessor.preprocess(claims[0]).features
+        )
+
+    def test_empty_matrix_has_feature_width(self):
+        store, claims, preprocessor = self._store()
+        matrix = store.matrix([])
+        assert matrix.shape == (0, preprocessor.featurizer.dimension)
+
+
+class TestStaleCacheRegression:
+    def test_suite_serves_fresh_vectors_after_featurizer_refit(self):
+        """Regression: `_features_of` used to cache vectors forever.
+
+        Refitting the preprocessor's featurizer changes feature indices;
+        the cached row must be discarded, not silently served from the old
+        vocabulary.
+        """
+        examples = _examples()
+        claims = [example.claim for example in examples]
+        preprocessor = ClaimPreprocessor().fit(claims)
+        suite = PropertyClassifierSuite(
+            preprocessor, SuiteConfig(parametric_threshold=100)
+        )
+        suite.fit(examples)
+        stale = suite._features_of(claims[0]).copy()
+
+        preprocessor.fit_texts([claim.text for claim in claims] + ["solar farms"])
+        refreshed = suite._features_of(claims[0])
+        expected = preprocessor.preprocess(claims[0]).features
+        np.testing.assert_array_equal(refreshed, expected)
+        assert refreshed.shape != stale.shape or not np.array_equal(refreshed, stale)
+
+    def test_suite_refits_on_fresh_features_after_refit(self):
+        examples = _examples()
+        claims = [example.claim for example in examples]
+        preprocessor = ClaimPreprocessor().fit(claims)
+        suite = PropertyClassifierSuite(
+            preprocessor, SuiteConfig(parametric_threshold=100)
+        )
+        suite.fit(examples)
+        preprocessor.fit_texts([claim.text for claim in claims] + ["solar farms"])
+        # Refit after the vocabulary change: training must featurize from
+        # the new generation (the old cached matrix would have the wrong
+        # dimension and vstack would produce garbage or crash).
+        suite.fit()
+        prediction = suite.predict(_claim("q", "electricity demand grew by 2% in 2016"))
+        assert set(prediction) == set(ClaimProperty.ordered())
+
+
+# --------------------------------------------------------------------- #
+# batch-vs-single equivalence
+# --------------------------------------------------------------------- #
+class TestBatchSingleEquivalence:
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(0, 2**16), queries=st.integers(1, 8))
+    def test_softmax_proba_batch_matches_single(self, seed, queries):
+        features, labels = _blobs(seed=seed % 7, samples_per_class=20)
+        model = SoftmaxRegressionClassifier(epochs=40).fit(features, labels)
+        rng = np.random.default_rng(seed)
+        batch = rng.normal(size=(queries, features.shape[1]))
+        stacked = model.predict_proba_batch(batch)
+        for index in range(queries):
+            np.testing.assert_allclose(
+                stacked[index], model.predict_proba(batch[index]), rtol=1e-12
+            )
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        seed=st.integers(0, 2**16),
+        k=st.integers(1, 10),
+        samples=st.integers(1, 15),
+        queries=st.integers(1, 6),
+    )
+    def test_knn_batch_matches_single_cold_start(self, seed, k, samples, queries):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(samples, 6))
+        labels = [f"l{index % 3}" for index in range(samples)]
+        model = KNearestNeighborsClassifier(k=k).fit(features, labels)
+        batch = rng.normal(size=(queries, 6))
+        stacked = model.predict_proba_batch(batch)
+        for index in range(queries):
+            single = model.predict_proba(batch[index])
+            np.testing.assert_allclose(stacked[index], single, rtol=1e-12)
+            assert (
+                model.predict(batch[index]).labels
+                == model.predict_batch(batch)[index].labels
+            )
+
+    def test_knn_tie_breaking_is_deterministic_lowest_index(self):
+        # Four identical rows, different labels: every similarity ties at
+        # 1.0, so the k=2 neighbourhood must be rows 0 and 1 — never an
+        # arbitrary pair — and batch and single paths must agree exactly.
+        features = np.tile(np.array([[1.0, 2.0, 3.0]]), (4, 1))
+        labels = ["a", "b", "c", "d"]
+        model = KNearestNeighborsClassifier(k=2).fit(features, labels)
+        query = np.array([1.0, 2.0, 3.0])
+        prediction = model.predict(query)
+        assert set(label for label, p in prediction.top_k(2) if p > 0) == {"a", "b"}
+        repeated = model.predict_proba_batch(np.tile(query, (5, 1)))
+        for row in repeated:
+            np.testing.assert_array_equal(row, repeated[0])
+        np.testing.assert_array_equal(repeated[0], model.predict_proba(query))
+
+    def test_naive_bayes_batch_matches_single(self):
+        features, labels = _blobs(seed=3, samples_per_class=10)
+        model = MultinomialNaiveBayesClassifier().fit(features, labels)
+        stacked = model.predict_proba_batch(features[:7])
+        for index in range(7):
+            prediction = model.predict(features[index])
+            np.testing.assert_allclose(
+                sorted(stacked[index]), sorted(prediction.probabilities), rtol=1e-12
+            )
+
+    def _suite(self, parametric_threshold: int):
+        examples = _examples(16)
+        preprocessor = ClaimPreprocessor().fit([example.claim for example in examples])
+        suite = PropertyClassifierSuite(
+            preprocessor, SuiteConfig(parametric_threshold=parametric_threshold)
+        )
+        suite.fit(examples)
+        return suite
+
+    @pytest.mark.parametrize("parametric_threshold", [1, 100])
+    def test_predict_many_matches_predict(self, parametric_threshold):
+        """predict_many == per-claim predict in both model regimes.
+
+        ``parametric_threshold=1`` trains softmax models (parametric
+        regime), ``100`` keeps every property on the k-NN fallback
+        (cold-start regime).
+        """
+        suite = self._suite(parametric_threshold)
+        queries = [
+            _claim("q1", "electricity demand grew by 2% in 2016"),
+            _claim("q2", "coal supply reached 2 100 Mtoe in 2014"),
+            _claim("q3", "demand grew"),
+        ]
+        many = suite.predict_many(queries)
+        for query, batched in zip(queries, many):
+            single = suite.predict(query)
+            assert set(batched) == set(single)
+            for claim_property in ClaimProperty.ordered():
+                assert batched[claim_property].labels == single[claim_property].labels
+                np.testing.assert_allclose(
+                    batched[claim_property].probabilities,
+                    single[claim_property].probabilities,
+                    rtol=1e-12,
+                )
+
+
+# --------------------------------------------------------------------- #
+# incremental retraining
+# --------------------------------------------------------------------- #
+class TestWarmStart:
+    def test_softmax_warm_start_keeps_label_indices_and_adds_classes(self):
+        features, labels = _blobs(seed=1)
+        model = SoftmaxRegressionClassifier(epochs=30, warm_start=True)
+        model.fit(features, labels)
+        first_classes = model.classes
+        rng = np.random.default_rng(5)
+        center = np.zeros(features.shape[1])
+        center[3] = 5.0
+        new_rows = rng.normal(loc=center, scale=0.5, size=(20, features.shape[1]))
+        model.fit(
+            np.vstack([features, new_rows]), list(labels) + ["delta"] * 20
+        )
+        assert model.classes[: len(first_classes)] == first_classes
+        assert "delta" in model.classes
+        prediction = model.predict(center)
+        assert prediction.top_label == "delta"
+
+    def test_warm_start_converges_from_previous_weights(self):
+        features, labels = _blobs(seed=2)
+        warm = SoftmaxRegressionClassifier(epochs=30, warm_start=True)
+        warm.fit(features, labels)
+        first_weights = warm._weights.copy()
+        warm.fit(features, labels)
+        # The second fit continued from the first solution instead of
+        # re-initialising to small random weights.
+        assert np.linalg.norm(warm._weights) >= np.linalg.norm(first_weights) * 0.5
+        assert not np.allclose(warm._weights, first_weights)
+
+    def test_cold_restart_on_feature_dimension_change(self):
+        features, labels = _blobs(seed=3)
+        model = SoftmaxRegressionClassifier(epochs=10, warm_start=True)
+        model.fit(features, labels)
+        narrower = features[:, :5]
+        model.fit(narrower, labels)
+        assert model._weights.shape[0] == 5
+
+    def test_suite_reuses_softmax_models_across_retrains(self):
+        examples = _examples(16)
+        preprocessor = ClaimPreprocessor().fit([example.claim for example in examples])
+        suite = PropertyClassifierSuite(
+            preprocessor,
+            SuiteConfig(parametric_threshold=1, warm_start=True, epochs=20),
+        )
+        suite.fit(examples)
+        first_models = dict(suite._models)
+        suite.retrain(_examples(2, offset=100))
+        for claim_property in ClaimProperty.ordered():
+            assert suite._models[claim_property] is first_models[claim_property]
+
+    def test_suite_cold_starts_without_warm_start(self):
+        examples = _examples(16)
+        preprocessor = ClaimPreprocessor().fit([example.claim for example in examples])
+        suite = PropertyClassifierSuite(
+            preprocessor,
+            SuiteConfig(parametric_threshold=1, warm_start=False, epochs=20),
+        )
+        suite.fit(examples)
+        first_models = dict(suite._models)
+        suite.retrain(_examples(2, offset=100))
+        for claim_property in ClaimProperty.ordered():
+            assert suite._models[claim_property] is not first_models[claim_property]
+
+
+class TestVocabularyRefit:
+    def _novel_examples(self, count: int = 4) -> list[TrainingExample]:
+        texts = [
+            "offshore wind turbines delivered unprecedented gigawatt capacity",
+            "hydrogen electrolyzers scaled beyond pilot deployments rapidly",
+            "geothermal wellheads sustained remarkable baseload output levels",
+            "photovoltaic inverters exceeded efficiency expectations everywhere",
+        ]
+        return [
+            TrainingExample(
+                claim=_claim(f"n{index}", texts[index % len(texts)]),
+                labels={
+                    ClaimProperty.RELATION: "GED",
+                    ClaimProperty.KEY: "PGElecDemand",
+                    ClaimProperty.ATTRIBUTE: "2017",
+                    ClaimProperty.FORMULA: "a",
+                },
+            )
+            for index in range(count)
+        ]
+
+    def test_refit_triggers_after_unseen_terms_accumulate(self):
+        examples = _examples()
+        preprocessor = ClaimPreprocessor().fit([example.claim for example in examples])
+        suite = PropertyClassifierSuite(
+            preprocessor,
+            SuiteConfig(parametric_threshold=100, vocabulary_refit_threshold=10),
+        )
+        suite.fit(examples)
+        generation = suite.feature_generation
+        suite.retrain(self._novel_examples())
+        assert suite.feature_generation == generation + 1
+        assert suite.pending_unseen_term_count == 0
+        # The new vocabulary is now part of the feature space and the suite
+        # keeps serving predictions.
+        prediction = suite.predict(_claim("q", "offshore wind turbines"))
+        assert set(prediction) == set(ClaimProperty.ordered())
+
+    def test_threshold_zero_disables_refit(self):
+        examples = _examples()
+        preprocessor = ClaimPreprocessor().fit([example.claim for example in examples])
+        suite = PropertyClassifierSuite(
+            preprocessor,
+            SuiteConfig(parametric_threshold=100, vocabulary_refit_threshold=0),
+        )
+        suite.fit(examples)
+        generation = suite.feature_generation
+        suite.retrain(self._novel_examples())
+        assert suite.feature_generation == generation
+        assert suite.pending_unseen_term_count == 0
+
+    def test_seen_corpus_accumulates_no_unseen_terms(self):
+        examples = _examples()
+        preprocessor = ClaimPreprocessor().fit([example.claim for example in examples])
+        suite = PropertyClassifierSuite(
+            preprocessor,
+            SuiteConfig(parametric_threshold=100, vocabulary_refit_threshold=1),
+        )
+        suite.fit(examples)
+        generation = suite.feature_generation
+        # Retraining on claims whose texts were in the fit corpus must not
+        # trigger a refit, no matter how low the threshold.
+        suite.retrain(_examples(4, offset=200))
+        assert suite.feature_generation == generation
+
+    def test_translation_config_knobs_flow_into_the_suite(self):
+        config = TranslationConfig(warm_start=False, vocabulary_refit_threshold=7)
+        from repro.dataset.database import Database
+        from repro.dataset.relation import Relation
+        from repro.translation.translator import ClaimTranslator
+
+        relation = Relation(name="R", key_attribute="Index", attributes=["2016"])
+        relation.insert({"Index": "k", "2016": 1})
+        translator = ClaimTranslator(Database([relation]), config=config)
+        assert translator.suite._config.warm_start is False
+        assert translator.suite._config.vocabulary_refit_threshold == 7
+
+
+# --------------------------------------------------------------------- #
+# vectorized batch scoring
+# --------------------------------------------------------------------- #
+class TestVectorizedScoring:
+    def _batch_and_dicts(self):
+        examples = _examples(16)
+        preprocessor = ClaimPreprocessor().fit([example.claim for example in examples])
+        suite = PropertyClassifierSuite(
+            preprocessor, SuiteConfig(parametric_threshold=1)
+        )
+        suite.fit(examples)
+        queries = [example.claim for example in _examples(10, offset=50)]
+        return suite.predict_proba_many(queries), suite.predict_many(queries)
+
+    def test_estimate_costs_batch_matches_scalar(self):
+        batch, dicts = self._batch_and_dicts()
+        planner = QuestionPlanner(ScrutinizerConfig())
+        vectorized = planner.estimate_costs_batch(batch)
+        scalar = [planner.estimate_cost(predictions) for predictions in dicts]
+        np.testing.assert_allclose(vectorized, scalar, rtol=1e-9)
+
+    def test_estimate_utilities_batch_matches_scalar(self):
+        batch, dicts = self._batch_and_dicts()
+        planner = QuestionPlanner(ScrutinizerConfig())
+        vectorized = planner.estimate_utilities_batch(batch)
+        scalar = [planner.estimate_utility(predictions) for predictions in dicts]
+        np.testing.assert_allclose(vectorized, scalar, rtol=1e-9)
+
+    def test_from_prediction_dicts_round_trip(self):
+        _, dicts = self._batch_and_dicts()
+        adapted = ClaimBatchPredictions.from_prediction_dicts(
+            [f"q{index}" for index in range(len(dicts))], dicts
+        )
+        rebuilt = adapted.as_prediction_dicts()
+        for original, restored in zip(dicts, rebuilt):
+            for claim_property, prediction in original.items():
+                assert restored[claim_property].labels == prediction.labels
+                np.testing.assert_allclose(
+                    restored[claim_property].probabilities,
+                    prediction.probabilities,
+                    rtol=1e-12,
+                )
+
+    def test_partial_prediction_dicts_score_like_the_scalar_path(self):
+        # A legacy backend may omit properties for some claims; the adapted
+        # batch must omit them from materialization and score them exactly
+        # as the scalar path scores a partial dict.
+        _, dicts = self._batch_and_dicts()
+        partial = [dict(predictions) for predictions in dicts]
+        del partial[0][ClaimProperty.FORMULA]
+        del partial[1][ClaimProperty.FORMULA]
+        del partial[1][ClaimProperty.KEY]
+        partial[2] = {}
+        adapted = ClaimBatchPredictions.from_prediction_dicts(
+            [f"q{index}" for index in range(len(partial))], partial
+        )
+        assert set(adapted.predictions_at(0)) == set(partial[0])
+        assert set(adapted.predictions_at(1)) == set(partial[1])
+        assert adapted.predictions_at(2) == {}
+        planner = QuestionPlanner(ScrutinizerConfig())
+        vectorized = planner.estimate_costs_batch(adapted)
+        scalar = [planner.estimate_cost(predictions) for predictions in partial]
+        np.testing.assert_allclose(vectorized, scalar, rtol=1e-9)
+        utilities = planner.estimate_utilities_batch(adapted)
+        scalar_utilities = [
+            planner.estimate_utility(predictions) for predictions in partial
+        ]
+        np.testing.assert_allclose(utilities, scalar_utilities, rtol=1e-9)
+
+    def test_refit_with_deduplicates_absorbed_texts(self):
+        examples = _examples()
+        claims = [example.claim for example in examples]
+        preprocessor = ClaimPreprocessor().fit(claims)
+        generation = preprocessor.feature_generation
+        # Re-absorbing texts already in the fit corpus is a no-op: no
+        # duplicate documents skewing IDF, no spurious generation bump.
+        preprocessor.refit_with(claims)
+        assert preprocessor.feature_generation == generation
+        novel = _claim("novel", "entirely new words about tidal barrage output")
+        preprocessor.refit_with([novel, novel])
+        assert preprocessor.feature_generation == generation + 1
+        assert preprocessor.unseen_terms([novel]) == set()
+
+    def test_property_batch_entropies_match_prediction_entropy(self):
+        batch, dicts = self._batch_and_dicts()
+        for claim_property, property_batch in batch.by_property.items():
+            entropies = property_batch.entropies()
+            for index, predictions in enumerate(dicts):
+                assert entropies[index] == pytest.approx(
+                    predictions[claim_property].entropy(), rel=1e-9
+                )
+
+
+# --------------------------------------------------------------------- #
+# verification-service integration
+# --------------------------------------------------------------------- #
+class _ConstantChecker:
+    """Deterministic checker: always correct, one second per claim."""
+
+    def __init__(self, corpus) -> None:
+        self.checker_id = "const-1"
+        self._corpus = corpus
+
+    def verify_manually(self, claim) -> CheckerResponse:
+        return self._respond(claim, used_system=False)
+
+    def verify_with_plan(self, claim, plan) -> CheckerResponse:
+        return self._respond(claim, used_system=True)
+
+    def _respond(self, claim, used_system: bool) -> CheckerResponse:
+        return CheckerResponse(
+            claim_id=claim.claim_id,
+            checker_id=self.checker_id,
+            verdict=self._corpus.ground_truth(claim.claim_id).is_correct,
+            elapsed_seconds=1.0,
+            used_system=used_system,
+        )
+
+
+def _config(batch_size: int = 6) -> ScrutinizerConfig:
+    return ScrutinizerConfig(
+        checker_count=1,
+        votes_per_claim=1,
+        batching=BatchingConfig(min_batch_size=1, max_batch_size=batch_size),
+        seed=5,
+    )
+
+
+class TestServiceBatchFrontDoor:
+    def test_predict_pending_issues_no_per_claim_predicts(self, small_corpus):
+        service = (
+            ScrutinizerBuilder(small_corpus)
+            .with_config(_config())
+            .with_checkers([_ConstantChecker(small_corpus)])
+            .build_service()
+        )
+        service.warm_start()
+
+        def forbidden(claim):  # pragma: no cover - failure path
+            raise AssertionError("per-claim predict called on the hot path")
+
+        service.translator.predict = forbidden
+        pending = list(small_corpus.claim_ids)[:12]
+        batch = service._predict_pending(pending)
+        assert batch is not None
+        assert batch.claim_ids == tuple(pending)
+        assert len(service._batch_candidates(pending, batch)) == len(pending)
+
+    def test_backend_without_predict_many_still_works(self, small_corpus):
+        class LegacyBackend:
+            """A TranslationBackend predating predict_many."""
+
+            def __init__(self, inner) -> None:
+                self._inner = inner
+
+            @property
+            def is_trained(self):
+                return self._inner.is_trained
+
+            def bootstrap(self, claims, truths=None, fit_features_only=False):
+                return self._inner.bootstrap(claims, truths, fit_features_only)
+
+            def retrain(self, claims, truths):
+                return self._inner.retrain(claims, truths)
+
+            def predict(self, claim):
+                return self._inner.predict(claim)
+
+            def translate(self, claim, validated_context=None):
+                return self._inner.translate(claim, validated_context)
+
+            def evaluate_accuracy(self, claims, truths, top_k=1):
+                return self._inner.evaluate_accuracy(claims, truths, top_k)
+
+        from repro.api.protocols import BatchTranslationBackend, TranslationBackend
+        from repro.translation.translator import ClaimTranslator
+
+        inner = ClaimTranslator(small_corpus.database)
+        claims = [annotated.claim for annotated in small_corpus]
+        truths = [annotated.ground_truth for annotated in small_corpus]
+        inner.bootstrap(claims, truths)
+        legacy = LegacyBackend(inner)
+        # A backend predating predict_many still conforms to the base
+        # protocol; the batch extension is what it lacks.
+        assert isinstance(legacy, TranslationBackend)
+        assert not isinstance(legacy, BatchTranslationBackend)
+        assert isinstance(inner, BatchTranslationBackend)
+        service = (
+            ScrutinizerBuilder(small_corpus)
+            .with_config(_config())
+            .with_translator(legacy)
+            .with_checkers([_ConstantChecker(small_corpus)])
+            .build_service()
+        )
+        service.submit(list(small_corpus.claim_ids)[:8])
+        result = service.run_batch()
+        assert result is not None
+        assert result.batch_size > 0
+
+    def test_retrain_seconds_counted_once(self, small_corpus):
+        service = (
+            ScrutinizerBuilder(small_corpus)
+            .with_config(_config())
+            .with_checkers([_ConstantChecker(small_corpus)])
+            .build_service()
+        )
+        results = []
+        service.on_batch_complete(results.append)
+        service.run_to_completion(list(small_corpus.claim_ids)[:12])
+        assert results
+        for result in results:
+            assert result.retrain_seconds >= 0.0
+            assert result.planning_seconds >= 0.0
+        # Every machine-time bucket lands in the report exactly once:
+        # computation == sum of planning + retraining across batches.
+        total = sum(r.planning_seconds + r.retrain_seconds for r in results)
+        assert service.report.computation_seconds == pytest.approx(total, rel=1e-6)
