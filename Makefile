@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick lint check
+.PHONY: test bench bench-quick bench-runtime lint check
 
 # Tier-1 verification: the full unit + benchmark suite, fail-fast.
 test:
@@ -18,11 +18,18 @@ bench:
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_pipeline_throughput.py -q
 
-# Bytecode-compile every tree; uses ruff additionally when installed.
+# Shard-count scaling benchmark in its reduced configuration; writes
+# BENCH_runtime_scaling.json at the repository root (CI uploads it).
+bench-runtime:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_runtime_scaling.py -q
+
+# Bytecode-compile every source tree (skipping __pycache__ artifacts);
+# additionally runs ruff when installed (CI installs it from
+# requirements-dev.txt, so the Lint step always gets the real linter).
 lint:
-	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m compileall -q -x '(^|/)__pycache__(/|$$)' src tests benchmarks examples scripts
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
-		$(PYTHON) -m ruff check src tests benchmarks examples; \
+		$(PYTHON) -m ruff check src tests benchmarks examples scripts; \
 	else \
 		echo "ruff not installed; compileall only"; \
 	fi

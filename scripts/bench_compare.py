@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: diff a fresh run against a committed baseline.
+
+CI copies the committed ``BENCH_*.json`` baselines aside, re-runs the quick
+benchmarks, and then calls this script once per tracked metric::
+
+    python scripts/bench_compare.py baseline.json fresh.json \\
+        --key batch_over_single_speedup --max-drop 0.25
+
+Exit codes: 0 when the fresh value is within the allowed drop (or has
+improved), 1 on a regression beyond ``--max-drop``, 2 on unusable inputs
+(missing file, missing key, non-numeric value).  The bench job stays
+``continue-on-error`` at the job level, so a regression marks the job
+red-but-advisory instead of blocking the merge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+class _UnusableInput(Exception):
+    """Input problems (exit code 2, distinct from a regression's 1)."""
+
+
+def _load_metric(path: Path, key: str) -> float:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise _UnusableInput(f"cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise _UnusableInput(f"{path} is not valid JSON: {error}") from error
+    value = payload
+    for part in key.split("."):
+        if not isinstance(value, dict) or part not in value:
+            raise _UnusableInput(f"{path} has no key {key!r}")
+        value = value[part]
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise _UnusableInput(f"{path}:{key} is not numeric: {value!r}")
+    return float(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("fresh", type=Path, help="freshly generated JSON")
+    parser.add_argument(
+        "--key",
+        required=True,
+        help="dotted path of the higher-is-better metric to compare",
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop below the baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_drop < 1.0:
+        parser.error("--max-drop must be in [0, 1)")
+
+    try:
+        baseline = _load_metric(args.baseline, args.key)
+        fresh = _load_metric(args.fresh, args.key)
+    except _UnusableInput as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        return 2
+    floor = baseline * (1.0 - args.max_drop)
+    change = (fresh - baseline) / baseline if baseline else float("inf")
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"bench_compare [{verdict}] {args.key}: baseline {baseline:.3f}, "
+        f"fresh {fresh:.3f} ({change:+.1%}), floor {floor:.3f} "
+        f"(max drop {args.max_drop:.0%})"
+    )
+    return 0 if fresh >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,11 @@ The substrates, mirroring the paper's structure:
 * :mod:`repro.crowd`, :mod:`repro.core` and :mod:`repro.simulation` — the
   simulated crowd of domain experts, the main verification loop
   (Algorithm 1) and the full-report simulator used in Section 6.2.
+* :mod:`repro.runtime` — the scale-out runtime: sharded parallel execution
+  over a worker pool (:class:`~repro.runtime.sharding.ShardedVerificationRunner`)
+  and versioned JSON checkpoints with byte-identical resume
+  (:class:`~repro.runtime.snapshot.ServiceSnapshot`,
+  ``python -m repro.runtime``).
 * :mod:`repro.synth` — a synthetic substitute for the proprietary IEA corpus.
 * :mod:`repro.experiments` — one entry point per table/figure of the paper.
 """
@@ -54,10 +59,12 @@ from repro.dataset.database import Database
 from repro.dataset.relation import Relation
 from repro.pipeline.batch import ClaimBatchPredictions
 from repro.pipeline.feature_store import ClaimFeatureStore
+from repro.runtime.sharding import ShardedVerificationRunner
+from repro.runtime.snapshot import ServiceSnapshot
 from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
 from repro.translation.translator import ClaimTranslator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnswerSource",
@@ -75,6 +82,8 @@ __all__ = [
     "Relation",
     "Scrutinizer",
     "ScrutinizerBuilder",
+    "ServiceSnapshot",
+    "ShardedVerificationRunner",
     "SyntheticCorpusConfig",
     "TranslationBackend",
     "VerificationReport",

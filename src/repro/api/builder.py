@@ -19,7 +19,8 @@ facade instead, for callers that want the one-shot ``verify()`` entry point.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.api.protocols import AnswerSource, BatchSelector, Checker, TranslationBackend
@@ -31,6 +32,7 @@ from repro.planning.planner import QuestionPlanner
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.core.scrutinizer import Scrutinizer
+    from repro.runtime.snapshot import ServiceSnapshot
 
 __all__ = ["ScrutinizerBuilder"]
 
@@ -55,6 +57,7 @@ class ScrutinizerBuilder:
         self._accuracy_sample_size = 60
         self._system_name: str | None = None
         self._callbacks: list[ProgressCallback] = []
+        self._snapshot: "ServiceSnapshot | None" = None
 
     # ------------------------------------------------------------------ #
     # components
@@ -111,6 +114,41 @@ class ScrutinizerBuilder:
         self._sequential = True
         return self
 
+    # ------------------------------------------------------------------ #
+    # checkpoint restore
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: "ServiceSnapshot | Mapping[str, object] | str | Path",
+        corpus: ClaimCorpus,
+    ) -> "ScrutinizerBuilder":
+        """A builder whose built service resumes from ``snapshot``.
+
+        ``snapshot`` may be a :class:`~repro.runtime.snapshot.ServiceSnapshot`,
+        its dict form, or a path to a saved snapshot file.  The snapshot's
+        configuration is applied automatically; the resulting service
+        continues the checkpointed run byte-identically (same batch
+        selections, predictions and verdicts as an uninterrupted run).
+        Custom components (checkers, answer sources, planners) still have
+        to be re-attached through the usual ``with_*`` methods — only
+        their serializable state comes from the snapshot.
+        """
+        from repro.runtime.snapshot import (
+            ServiceSnapshot,
+            scrutinizer_config_from_dict,
+        )
+
+        if isinstance(snapshot, (str, Path)):
+            snapshot = ServiceSnapshot.load(snapshot)
+        elif not isinstance(snapshot, ServiceSnapshot):
+            snapshot = ServiceSnapshot.from_dict(snapshot)
+        builder = cls(corpus)
+        builder._snapshot = snapshot
+        builder.with_config(scrutinizer_config_from_dict(snapshot.config))
+        builder.with_accuracy_sample_size(snapshot.accuracy_sample_size)
+        return builder
+
     def on_batch_complete(self, callback: ProgressCallback) -> "ScrutinizerBuilder":
         """Register a progress callback on the built service."""
         self._callbacks.append(callback)
@@ -126,16 +164,29 @@ class ScrutinizerBuilder:
         return config
 
     def build_service(self) -> VerificationService:
-        """Construct a :class:`VerificationService` from the settings."""
+        """Construct a :class:`VerificationService` from the settings.
+
+        When the builder came from :meth:`from_snapshot`, the service is
+        restored before being returned: the translation backend is rebuilt
+        directly from the snapshot state (skipping the cold bootstrap), and
+        session, report, batch counter and RNG streams are reinstated.
+        """
         if self._corpus is None:
             raise ConfigurationError(
                 "a corpus is required: pass it to ScrutinizerBuilder(...) or "
                 "call .with_corpus(...)"
             )
+        translator = self._translator
+        if translator is None and self._snapshot is not None and self._snapshot.translator:
+            from repro.translation.translator import ClaimTranslator
+
+            translator = ClaimTranslator.from_state(
+                self._corpus.database, self._snapshot.translator, self._corpus.claim
+            )
         service = VerificationService(
             self._corpus,
             self._resolved_config(),
-            translator=self._translator,
+            translator=translator,
             checkers=self._checkers,
             answer_source=self._answer_source,
             planner=self._planner,
@@ -145,6 +196,11 @@ class ScrutinizerBuilder:
         )
         for callback in self._callbacks:
             service.on_batch_complete(callback)
+        if self._snapshot is not None:
+            # The translation backend is already in place: either rebuilt
+            # from the snapshot state above, or explicitly attached by the
+            # caller (in which case the explicit component wins).
+            self._snapshot.restore_into(service, restore_translator=False)
         return service
 
     def build(self) -> "Scrutinizer":

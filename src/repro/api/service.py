@@ -178,6 +178,24 @@ class VerificationService:
         return self._session
 
     @property
+    def system_name(self) -> str:
+        """The name stamped on reports produced by this service."""
+        return self._system_name
+
+    @property
+    def track_accuracy(self) -> bool:
+        return self._track_accuracy
+
+    @property
+    def accuracy_sample_size(self) -> int:
+        return self._accuracy_sample_size
+
+    @property
+    def timing(self) -> TimingModel:
+        """The timing model shared with the default simulated checkers."""
+        return self._timing
+
+    @property
     def report(self) -> VerificationReport:
         """The report accumulated so far in the current run."""
         if self._report is None:
@@ -220,6 +238,59 @@ class VerificationService:
         """Register a callback invoked with each :class:`BatchResult`."""
         self._callbacks.append(callback)
         return self
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self, metadata: Mapping[str, object] | None = None):
+        """Capture the run as a :class:`~repro.runtime.snapshot.ServiceSnapshot`.
+
+        The snapshot serializes to versioned JSON
+        (:meth:`~repro.runtime.snapshot.ServiceSnapshot.save`) and restores
+        through :meth:`ScrutinizerBuilder.from_snapshot
+        <repro.api.builder.ScrutinizerBuilder.from_snapshot>`; the resumed
+        run continues byte-identically to an uninterrupted one.
+        """
+        from repro.runtime.snapshot import ServiceSnapshot
+
+        return ServiceSnapshot.capture(self, metadata=metadata)
+
+    def get_rng_state(self) -> dict:
+        """The accuracy-sampling generator state, for checkpointing."""
+        return self._rng.bit_generator.state
+
+    def restore_run_state(
+        self,
+        *,
+        system_name: str,
+        batch_index: int,
+        track_accuracy: bool,
+        session: VerificationSession | None,
+        report: VerificationReport | None,
+        rng_state: dict | None,
+        timing_rng_state: dict | None,
+        checker_states: Sequence[Mapping[str, object] | None],
+    ) -> None:
+        """Overwrite the mutable run state (snapshot restore back door).
+
+        Checker states are applied positionally to checkers exposing a
+        ``restore_state`` hook; extra or missing states are ignored so a
+        restore with customized checkers degrades to fresh behaviour
+        instead of failing.
+        """
+        self._system_name = system_name
+        self._batch_index = batch_index
+        self._track_accuracy = track_accuracy
+        self._session = session
+        self._report = report
+        if rng_state is not None:
+            self._rng.bit_generator.state = rng_state
+        if timing_rng_state is not None:
+            self._timing.set_rng_state(timing_rng_state)
+        for checker, state in zip(self.checkers, checker_states):
+            restore = getattr(checker, "restore_state", None)
+            if restore is not None and state is not None:
+                restore(state)
 
     # ------------------------------------------------------------------ #
     # incremental verification

@@ -23,6 +23,31 @@ class BatchRecord:
     def batch_size(self) -> int:
         return len(self.claim_ids)
 
+    # ------------------------------------------------------------------ #
+    # (de)serialization — used by run checkpoints
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "batch_index": self.batch_index,
+            "claim_ids": list(self.claim_ids),
+            "seconds_spent": self.seconds_spent,
+            "accuracy_by_property": dict(self.accuracy_by_property),
+            "solver": self.solver,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "BatchRecord":
+        return cls(
+            batch_index=int(payload["batch_index"]),  # type: ignore[arg-type]
+            claim_ids=tuple(str(claim_id) for claim_id in payload["claim_ids"]),  # type: ignore[union-attr]
+            seconds_spent=float(payload["seconds_spent"]),  # type: ignore[arg-type]
+            accuracy_by_property={
+                str(series): float(value)
+                for series, value in payload.get("accuracy_by_property", {}).items()  # type: ignore[union-attr]
+            },
+            solver=str(payload.get("solver", "")),
+        )
+
 
 class VerificationSession:
     """Tracks which claims remain to verify and what has been decided."""
@@ -95,3 +120,27 @@ class VerificationSession:
             return self._verified[claim_id]
         except KeyError:
             raise SimulationError(f"claim {claim_id!r} has not been verified yet") from None
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_state(
+        cls,
+        pending: Sequence[str],
+        verifications: Sequence[ClaimVerification],
+        batches: Sequence[BatchRecord],
+    ) -> "VerificationSession":
+        """Rebuild a mid-run session from checkpointed state.
+
+        Unlike the constructor this accepts an empty pending pool: a
+        checkpoint taken after the final batch has verified claims but
+        nothing left to do.
+        """
+        session = cls.__new__(cls)
+        session._pending = list(dict.fromkeys(pending))
+        session._verified = {
+            verification.claim_id: verification for verification in verifications
+        }
+        session._batches = list(batches)
+        return session

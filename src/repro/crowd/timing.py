@@ -93,6 +93,17 @@ class TimingModel:
         return time
 
     # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def get_rng_state(self) -> dict:
+        """The generator state (JSON-compatible), for checkpointing."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a generator state captured by :meth:`get_rng_state`."""
+        self._rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------ #
     # sampling
     # ------------------------------------------------------------------ #
     def _noisy(self, expected: float) -> float:

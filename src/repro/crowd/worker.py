@@ -151,6 +151,30 @@ class SimulatedChecker:
         )
 
     # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible behavioural state of this checker.
+
+        Captures the skip/error RNG so a restored run draws the same
+        decisions.  The timing model is *not* included: in the stock setup
+        it is owned (and checkpointed) by the verification service, which
+        shares one instance across all checkers.
+        """
+        return {
+            "checker_id": self.checker_id,
+            "error_rate": self.error_rate,
+            "skip_rate": self.skip_rate,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Apply a state captured by :meth:`to_state` to this checker."""
+        self.error_rate = float(state["error_rate"])  # type: ignore[arg-type]
+        self.skip_rate = float(state["skip_rate"])  # type: ignore[arg-type]
+        self._rng.bit_generator.state = state["rng_state"]
+
+    # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
     def _apply_error(self, truth: bool) -> bool:

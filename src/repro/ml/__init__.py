@@ -16,6 +16,7 @@ from repro.ml.knn import KNearestNeighborsClassifier
 from repro.ml.logistic import SoftmaxRegressionClassifier
 from repro.ml.metrics import accuracy, entropy, top_k_accuracy
 from repro.ml.naive_bayes import MultinomialNaiveBayesClassifier
+from repro.ml.state import model_from_state, model_to_state
 
 __all__ = [
     "Classifier",
@@ -27,6 +28,8 @@ __all__ = [
     "UncertaintySampler",
     "accuracy",
     "entropy",
+    "model_from_state",
+    "model_to_state",
     "prediction_entropy",
     "top_k_accuracy",
 ]

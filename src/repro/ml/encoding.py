@@ -9,7 +9,7 @@ verification process", Section 7).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -74,3 +74,17 @@ class LabelEncoder:
 
     def __len__(self) -> int:
         return len(self._labels)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible state: the labels in index order."""
+        return {"labels": list(self._labels)}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "LabelEncoder":
+        """Rebuild an encoder with the exact same label-to-index mapping."""
+        encoder = cls()
+        encoder.partial_fit(str(label) for label in state.get("labels", ()))  # type: ignore[union-attr]
+        return encoder

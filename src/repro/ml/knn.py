@@ -24,8 +24,10 @@ import numpy as np
 from repro.errors import NotFittedError
 from repro.ml.base import Prediction, as_single_row
 from repro.ml.encoding import LabelEncoder
+from repro.ml.state import register_model_kind
 
 
+@register_model_kind("knn")
 class KNearestNeighborsClassifier:
     """Cosine-similarity k-NN with similarity-weighted voting."""
 
@@ -131,3 +133,37 @@ class KNearestNeighborsClassifier:
     @property
     def classes(self) -> tuple[str, ...]:
         return self._encoder.classes
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible state: training matrix, targets and class order."""
+        return {
+            "kind": "knn",
+            "k": self.k,
+            "encoder": self._encoder.to_state(),
+            "features": None if self._features is None else self._features.tolist(),
+            "targets": None if self._targets is None else self._targets.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, object]) -> "KNearestNeighborsClassifier":
+        """Rebuild a classifier whose predictions match byte for byte.
+
+        Norms and the one-hot target matrix are derived quantities; they are
+        recomputed with the same operations :meth:`fit` uses, so the restored
+        model shares every instruction with the original.
+        """
+        model = cls(k=int(state["k"]))  # type: ignore[arg-type]
+        model._encoder = LabelEncoder.from_state(state["encoder"])  # type: ignore[arg-type]
+        features = state.get("features")
+        targets = state.get("targets")
+        if features is not None and targets is not None:
+            model._features = np.asarray(features, dtype=float)
+            model._norms = np.linalg.norm(model._features, axis=1)
+            model._targets = np.asarray(targets, dtype=np.int64)
+            one_hot = np.zeros((model._features.shape[0], model._encoder.class_count))
+            one_hot[np.arange(model._features.shape[0]), model._targets] = 1.0
+            model._target_one_hot = one_hot
+        return model

@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import NotFittedError
 from repro.ml.base import Prediction, as_single_row
 from repro.ml.encoding import LabelEncoder
+from repro.ml.state import register_model_kind
 
 
 def _softmax(logits: np.ndarray) -> np.ndarray:
@@ -24,6 +25,7 @@ def _softmax(logits: np.ndarray) -> np.ndarray:
     return exponentials / np.sum(exponentials, axis=-1, keepdims=True)
 
 
+@register_model_kind("softmax")
 class SoftmaxRegressionClassifier:
     """Multinomial logistic regression with gradient-descent training.
 
@@ -158,3 +160,44 @@ class SoftmaxRegressionClassifier:
     @property
     def classes(self) -> tuple[str, ...]:
         return self._encoder.classes
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible state capturing the fitted weights exactly.
+
+        The weights are path-dependent under warm starts (each retrain
+        continues gradient descent from the last fit), so unlike the
+        non-parametric models this state cannot be reconstructed by
+        refitting — it must carry the matrices themselves.
+        """
+        return {
+            "kind": "softmax",
+            "learning_rate": self.learning_rate,
+            "epochs": self.epochs,
+            "l2": self.l2,
+            "seed": self.seed,
+            "warm_start": self.warm_start,
+            "encoder": self._encoder.to_state(),
+            "weights": None if self._weights is None else self._weights.tolist(),
+            "bias": None if self._bias is None else self._bias.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, object]) -> "SoftmaxRegressionClassifier":
+        """Rebuild a classifier whose predictions match byte for byte."""
+        model = cls(
+            learning_rate=float(state["learning_rate"]),  # type: ignore[arg-type]
+            epochs=int(state["epochs"]),  # type: ignore[arg-type]
+            l2=float(state["l2"]),  # type: ignore[arg-type]
+            seed=int(state["seed"]),  # type: ignore[arg-type]
+            warm_start=bool(state["warm_start"]),
+        )
+        model._encoder = LabelEncoder.from_state(state["encoder"])  # type: ignore[arg-type]
+        weights = state.get("weights")
+        bias = state.get("bias")
+        if weights is not None and bias is not None:
+            model._weights = np.asarray(weights, dtype=float)
+            model._bias = np.asarray(bias, dtype=float)
+        return model

@@ -16,8 +16,10 @@ import numpy as np
 from repro.errors import NotFittedError
 from repro.ml.base import Prediction, as_single_row
 from repro.ml.encoding import LabelEncoder
+from repro.ml.state import register_model_kind
 
 
+@register_model_kind("naive_bayes")
 class MultinomialNaiveBayesClassifier:
     """Multinomial naive Bayes with Lidstone smoothing."""
 
@@ -92,3 +94,30 @@ class MultinomialNaiveBayesClassifier:
     @property
     def classes(self) -> tuple[str, ...]:
         return self._encoder.classes
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible state: priors, likelihoods and class order."""
+        return {
+            "kind": "naive_bayes",
+            "alpha": self.alpha,
+            "encoder": self._encoder.to_state(),
+            "log_prior": None if self._log_prior is None else self._log_prior.tolist(),
+            "log_likelihood": (
+                None if self._log_likelihood is None else self._log_likelihood.tolist()
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, object]) -> "MultinomialNaiveBayesClassifier":
+        """Rebuild a classifier whose predictions match byte for byte."""
+        model = cls(alpha=float(state["alpha"]))  # type: ignore[arg-type]
+        model._encoder = LabelEncoder.from_state(state["encoder"])  # type: ignore[arg-type]
+        log_prior = state.get("log_prior")
+        log_likelihood = state.get("log_likelihood")
+        if log_prior is not None and log_likelihood is not None:
+            model._log_prior = np.asarray(log_prior, dtype=float)
+            model._log_likelihood = np.asarray(log_likelihood, dtype=float)
+        return model

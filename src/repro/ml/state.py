@@ -1,0 +1,63 @@
+"""Serializable model state for checkpoint/restore.
+
+Every classifier in :mod:`repro.ml` exposes ``to_state()`` /
+``from_state()``: a JSON-compatible dict that captures the *fitted* model
+exactly — weights, class order, hyperparameters — so a verification run can
+be checkpointed mid-stream and resumed with byte-identical predictions.
+Floats survive the JSON round trip exactly (``json`` emits shortest
+round-trip representations), so a restored model is not merely close to the
+original: ``predict_proba_batch`` returns the same bytes.
+
+This module holds the kind registry used to rebuild a model from its state
+dict without knowing its class up front.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import SerializationError
+
+__all__ = ["model_from_state", "model_to_state", "register_model_kind"]
+
+#: Maps the ``kind`` stamped into a state dict to the model class that
+#: understands it.  Populated by :func:`register_model_kind` at import time
+#: of each model module.
+_MODEL_KINDS: dict[str, type] = {}
+
+
+def register_model_kind(kind: str):
+    """Class decorator registering ``cls`` as the handler for ``kind``."""
+
+    def decorate(cls: type) -> type:
+        cls.STATE_KIND = kind
+        _MODEL_KINDS[kind] = cls
+        return cls
+
+    return decorate
+
+
+def model_to_state(model: object) -> dict[str, object]:
+    """The state dict of any registered model (delegates to ``to_state``)."""
+    to_state = getattr(model, "to_state", None)
+    if to_state is None:
+        raise SerializationError(
+            f"model {type(model).__name__} does not support to_state()"
+        )
+    return to_state()
+
+
+def model_from_state(state: Mapping[str, object]) -> object:
+    """Rebuild a model from a state dict produced by :func:`model_to_state`."""
+    kind = state.get("kind")
+    cls = _MODEL_KINDS.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        # Registration happens at import time of each model module; make the
+        # dispatch self-sufficient for callers that deserialize before ever
+        # constructing a model.
+        from repro.ml import knn, logistic, naive_bayes  # noqa: F401
+
+        cls = _MODEL_KINDS.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise SerializationError(f"unknown model state kind {kind!r}")
+    return cls.from_state(state)

@@ -1,0 +1,44 @@
+"""Scale-out runtime: sharded execution and checkpoint/restore.
+
+The verification loop of :mod:`repro.api` is a long-running, stateful
+process — crowd batches arrive over hours, and classifier state accumulates
+across every batch.  This package makes that loop operable:
+
+* :mod:`repro.runtime.snapshot` — :class:`ServiceSnapshot`, a versioned
+  JSON checkpoint of a :class:`~repro.api.service.VerificationService`
+  (claim statuses, classifier weights and vocabulary, RNG streams,
+  planner/report accounting).  ``service.snapshot()`` captures one,
+  ``ScrutinizerBuilder.from_snapshot(...)`` restores it; a restored run
+  continues byte-identically to an uninterrupted one.
+* :mod:`repro.runtime.sharding` — :class:`ShardedVerificationRunner`,
+  which partitions pending claims into K shards by a stable key, drives K
+  services across a ``concurrent.futures`` pool (threads, processes, or
+  inline), merges per-shard reports into a global one and reconciles the
+  per-shard translator updates.
+* :mod:`repro.runtime.cli` — ``python -m repro.runtime`` with ``run`` /
+  ``resume`` / ``status`` verbs over synthetic workloads.
+"""
+
+from repro.runtime.sharding import (
+    ShardedRunResult,
+    ShardedVerificationRunner,
+    ShardResult,
+    shard_claims,
+)
+from repro.runtime.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    ServiceSnapshot,
+    scrutinizer_config_from_dict,
+    scrutinizer_config_to_dict,
+)
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "ServiceSnapshot",
+    "ShardResult",
+    "ShardedRunResult",
+    "ShardedVerificationRunner",
+    "scrutinizer_config_from_dict",
+    "scrutinizer_config_to_dict",
+    "shard_claims",
+]

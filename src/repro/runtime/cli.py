@@ -1,0 +1,275 @@
+"""``python -m repro.runtime`` — operate sharded, checkpointed runs.
+
+Three verbs over the synthetic workload (the reproduction's stand-in for
+the proprietary IEA corpus):
+
+``run``
+    Generate a deterministic workload, verify it across K shards, and
+    optionally checkpoint every shard after every batch::
+
+        python -m repro.runtime run --claims 120 --shards 4 \\
+            --checkpoint ./ckpt --report report.json
+
+``resume``
+    Pick an interrupted run back up from its checkpoint directory.  The
+    workload recipe (claim count, seed, batching) is stored in the
+    directory's ``manifest.json``, so the corpus is regenerated
+    deterministically — no other inputs needed::
+
+        python -m repro.runtime resume --checkpoint ./ckpt
+
+``status``
+    Inspect a checkpoint directory without touching it: per-shard batches
+    run, verified/pending counts, completion.
+
+Interrupting ``run`` (crash, Ctrl-C, batch cap) and then ``resume``-ing
+reaches the same verified-claim set as an uninterrupted run — the snapshot
+layer restores classifier weights, claim statuses and RNG streams exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.api.serialization import write_report
+from repro.config import BatchingConfig, ScrutinizerConfig
+from repro.errors import ReproError
+from repro.runtime.sharding import ShardedVerificationRunner
+from repro.runtime.snapshot import SNAPSHOT_SCHEMA_VERSION, ServiceSnapshot
+from repro.synth.energy_data import EnergyDataConfig
+from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
+
+__all__ = ["main"]
+
+_MANIFEST_NAME = "manifest.json"
+
+
+# ---------------------------------------------------------------------- #
+# workload recipe
+# ---------------------------------------------------------------------- #
+def _workload_config(
+    claim_count: int, seed: int, batch_size: int, sequential: bool
+) -> tuple[SyntheticCorpusConfig, ScrutinizerConfig]:
+    """The deterministic synthetic workload behind the CLI verbs."""
+    corpus_config = SyntheticCorpusConfig(
+        claim_count=claim_count,
+        section_count=max(4, claim_count // 15),
+        explicit_fraction=0.5,
+        error_fraction=0.25,
+        data=EnergyDataConfig(
+            relation_count=max(6, claim_count // 8),
+            rows_per_relation=14,
+            seed=seed + 1,
+        ),
+        seed=seed,
+    )
+    system_config = ScrutinizerConfig(
+        checker_count=3,
+        options_per_property=10,
+        batching=BatchingConfig(min_batch_size=1, max_batch_size=batch_size),
+        claim_ordering=not sequential,
+        seed=seed,
+    )
+    return corpus_config, system_config
+
+
+def _build_runner(manifest: dict, checkpoint_dir: Path | None) -> ShardedVerificationRunner:
+    corpus_config, system_config = _workload_config(
+        claim_count=int(manifest["claim_count"]),
+        seed=int(manifest["seed"]),
+        batch_size=int(manifest["batch_size"]),
+        sequential=bool(manifest["sequential"]),
+    )
+    corpus = generate_corpus(corpus_config)
+    return ShardedVerificationRunner(
+        corpus,
+        system_config,
+        shard_count=int(manifest["shard_count"]),
+        executor=str(manifest["executor"]),
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
+def _write_manifest(checkpoint_dir: Path, manifest: dict) -> None:
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    (checkpoint_dir / _MANIFEST_NAME).write_text(
+        json.dumps({"schema_version": SNAPSHOT_SCHEMA_VERSION, **manifest}, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def _read_manifest(checkpoint_dir: Path) -> dict:
+    path = checkpoint_dir / _MANIFEST_NAME
+    if not path.exists():
+        raise ReproError(
+            f"{checkpoint_dir} is not a runtime checkpoint directory "
+            f"(missing {_MANIFEST_NAME}); create one with "
+            f"'python -m repro.runtime run --checkpoint ...'"
+        )
+    manifest = json.loads(path.read_text(encoding="utf-8"))
+    version = manifest.get("schema_version")
+    if version != SNAPSHOT_SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported checkpoint schema version {version!r} "
+            f"(expected {SNAPSHOT_SCHEMA_VERSION})"
+        )
+    return manifest
+
+
+# ---------------------------------------------------------------------- #
+# verbs
+# ---------------------------------------------------------------------- #
+def _print_result(result, out) -> None:
+    report = result.report
+    print(
+        f"verified {report.claim_count} claims in {result.wall_seconds:.2f}s wall "
+        f"({result.claims_per_second:.1f} claims/s) across "
+        f"{len(result.shards)} shard(s) [{result.executor}]",
+        file=out,
+    )
+    for shard in result.shards:
+        print(
+            f"  shard {shard.shard_index}: {shard.report.claim_count}/"
+            f"{shard.claim_count} claims, {shard.batches_run} batches, "
+            f"{shard.wall_seconds:.2f}s",
+            file=out,
+        )
+    print(
+        f"crowd time {report.total_seconds / 3600.0:.1f} simulated hours, "
+        f"machine time {report.computation_seconds:.2f}s",
+        file=out,
+    )
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    manifest = {
+        "claim_count": args.claims,
+        "seed": args.seed,
+        "batch_size": args.batch_size,
+        "sequential": args.sequential,
+        "shard_count": args.shards,
+        "executor": args.executor,
+    }
+    checkpoint_dir = Path(args.checkpoint) if args.checkpoint else None
+    if checkpoint_dir is not None:
+        _write_manifest(checkpoint_dir, manifest)
+    runner = _build_runner(manifest, checkpoint_dir)
+    result = runner.run(max_batches_per_shard=args.max_batches)
+    _print_result(result, out)
+    if checkpoint_dir is not None:
+        print(f"checkpoints in {checkpoint_dir}", file=out)
+    if args.report:
+        write_report(result.report, args.report)
+        print(f"report written to {args.report}", file=out)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace, out) -> int:
+    checkpoint_dir = Path(args.checkpoint)
+    manifest = _read_manifest(checkpoint_dir)
+    runner = _build_runner(manifest, checkpoint_dir)
+    result = runner.resume(max_batches_per_shard=args.max_batches)
+    _print_result(result, out)
+    if args.report:
+        write_report(result.report, args.report)
+        print(f"report written to {args.report}", file=out)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace, out) -> int:
+    checkpoint_dir = Path(args.checkpoint)
+    manifest = _read_manifest(checkpoint_dir)
+    print(
+        f"workload: {manifest['claim_count']} claims (seed {manifest['seed']}), "
+        f"{manifest['shard_count']} shard(s), executor {manifest['executor']}",
+        file=out,
+    )
+    total_verified = total_pending = 0
+    for index in range(int(manifest["shard_count"])):
+        path = checkpoint_dir / f"shard-{index}.json"
+        if not path.exists():
+            print(f"  shard {index}: no checkpoint yet", file=out)
+            continue
+        snapshot = ServiceSnapshot.load(path)
+        total_verified += snapshot.verified_count
+        total_pending += snapshot.pending_count
+        state = "complete" if snapshot.is_complete else "in progress"
+        print(
+            f"  shard {index}: {snapshot.batch_index} batches, "
+            f"{snapshot.verified_count} verified, {snapshot.pending_count} "
+            f"pending ({state})",
+            file=out,
+        )
+    print(f"total: {total_verified} verified, {total_pending} pending", file=out)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# argument parsing
+# ---------------------------------------------------------------------- #
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Sharded, checkpointed claim-verification runs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="verify a synthetic workload")
+    run.add_argument("--claims", type=int, default=120, help="workload size")
+    run.add_argument("--seed", type=int, default=7, help="workload seed")
+    run.add_argument("--batch-size", type=int, default=20, help="claims per batch")
+    run.add_argument("--shards", type=int, default=4, help="shard count K")
+    run.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="worker pool backing the shards",
+    )
+    run.add_argument(
+        "--sequential",
+        action="store_true",
+        help="disable claim ordering (the paper's Sequential baseline)",
+    )
+    run.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="stop every shard after this many batches (for staged runs)",
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        help="directory to checkpoint each shard into after every batch",
+    )
+    run.add_argument("--report", default=None, help="write the merged report JSON here")
+
+    resume = commands.add_parser("resume", help="continue from a checkpoint directory")
+    resume.add_argument("--checkpoint", required=True, help="checkpoint directory")
+    resume.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="stop every shard after this many further batches",
+    )
+    resume.add_argument("--report", default=None, help="write the merged report JSON here")
+
+    status = commands.add_parser("status", help="inspect a checkpoint directory")
+    status.add_argument("--checkpoint", required=True, help="checkpoint directory")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "resume": _cmd_resume, "status": _cmd_status}
+    try:
+        return handlers[args.command](args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

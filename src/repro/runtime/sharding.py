@@ -1,0 +1,522 @@
+"""Sharded execution of the verification loop.
+
+:class:`ShardedVerificationRunner` partitions the pending claims into K
+shards by a *stable* key (CRC-32 of the claim id — identical across
+processes, machines and Python invocations, unlike ``hash()``), drives one
+:class:`~repro.api.service.VerificationService` per shard across a
+``concurrent.futures`` pool, and merges the per-shard outcomes:
+
+* **reports** are merged into one global
+  :class:`~repro.core.report.VerificationReport` — verifications ordered by
+  (batch round, shard), machine seconds summed, accuracy histories averaged
+  per round across the shards still active in that round;
+* **translator updates** are reconciled by gathering every shard's training
+  examples and fitting one global translator on the union — the
+  parameter-server pattern: shards learn locally, the merge step folds all
+  labels into one model.
+
+Shards are independent single-threaded loops, so the pool can be
+process-backed (true parallelism), thread-backed (parallel numpy sections,
+zero pickling) or inline (``"serial"``, deterministic debugging).  Even on
+one core, K shards beat one: every batch re-predicts only its shard's
+pending pool and retrains on its shard's examples, so the per-batch work
+shrinks superlinearly as K grows — ``BENCH_runtime_scaling.json`` tracks
+the effect.
+
+Checkpointing: pass ``checkpoint_dir`` and every shard saves a
+:class:`~repro.runtime.snapshot.ServiceSnapshot` (``shard-K.json``) after
+each batch; :meth:`ShardedVerificationRunner.resume` picks up a crashed or
+interrupted run from those files and finishes it, reaching the same
+verified-claim set as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections.abc import Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api.service import VerificationService
+from repro.claims.corpus import ClaimCorpus
+from repro.claims.model import ClaimProperty
+from repro.config import ScrutinizerConfig
+from repro.core.report import VerificationReport
+from repro.errors import ConfigurationError, SerializationError
+from repro.runtime.snapshot import ServiceSnapshot
+from repro.translation.classifiers import TrainingExample
+from repro.translation.translator import ClaimTranslator
+
+__all__ = [
+    "ShardResult",
+    "ShardedRunResult",
+    "ShardedVerificationRunner",
+    "shard_claims",
+]
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+def shard_key(claim_id: str) -> int:
+    """Stable shard key of one claim id (CRC-32 of its UTF-8 bytes)."""
+    return zlib.crc32(claim_id.encode("utf-8"))
+
+
+def shard_claims(claim_ids: Sequence[str], shard_count: int) -> list[tuple[str, ...]]:
+    """Partition claim ids into ``shard_count`` shards by stable key.
+
+    Within a shard the input order (typically document order) is kept, so
+    the Sequential baseline stays meaningful per shard.  Shards can be
+    empty for tiny inputs; the runner skips those.
+    """
+    if shard_count < 1:
+        raise ConfigurationError("shard_count must be at least 1")
+    shards: list[list[str]] = [[] for _ in range(shard_count)]
+    for claim_id in claim_ids:
+        shards[shard_key(claim_id) % shard_count].append(claim_id)
+    return [tuple(shard) for shard in shards]
+
+
+# ---------------------------------------------------------------------- #
+# per-shard work (module level so process pools can pickle it)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs to run (or resume) one shard."""
+
+    shard_index: int
+    corpus: ClaimCorpus
+    config: ScrutinizerConfig
+    claim_ids: tuple[str, ...]
+    system_name: str
+    max_batches: int | None
+    checkpoint_path: str | None
+    checkpoint_every: int
+    collect_translator_state: bool
+    resume_snapshot: dict | None
+
+
+@dataclass(frozen=True)
+class _ShardOutcome:
+    """Picklable result of one shard's run."""
+
+    shard_index: int
+    claim_ids: tuple[str, ...]
+    report: dict
+    batches_run: int
+    wall_seconds: float
+    translator_state: dict | None
+
+
+def _execute_shard(task: _ShardTask) -> _ShardOutcome:
+    """Run one shard's verification loop to completion (or its batch cap)."""
+    started = time.perf_counter()
+    if task.resume_snapshot is not None:
+        from repro.api.builder import ScrutinizerBuilder
+
+        snapshot = ServiceSnapshot.from_dict(task.resume_snapshot)
+        service = ScrutinizerBuilder.from_snapshot(snapshot, task.corpus).build_service()
+    else:
+        service = VerificationService(
+            task.corpus, task.config, system_name=task.system_name
+        )
+        service.submit(task.claim_ids)
+    batches_this_call = 0
+    while not service.is_complete:
+        if task.max_batches is not None and batches_this_call >= task.max_batches:
+            break
+        service.run_batch()
+        batches_this_call += 1
+        if (
+            task.checkpoint_path is not None
+            and service.batches_run % max(1, task.checkpoint_every) == 0
+        ):
+            service.snapshot(metadata={"shard_index": task.shard_index}).save(
+                task.checkpoint_path
+            )
+    if task.checkpoint_path is not None:
+        # Always leave a final checkpoint behind, even when the loop above
+        # stopped between checkpoint intervals.
+        service.snapshot(metadata={"shard_index": task.shard_index}).save(
+            task.checkpoint_path
+        )
+    report = service.report
+    report.verifications.sort(key=lambda verification: verification.batch_index)
+    translator_state = None
+    if task.collect_translator_state:
+        to_state = getattr(service.translator, "to_state", None)
+        translator_state = to_state() if to_state else None
+    return _ShardOutcome(
+        shard_index=task.shard_index,
+        claim_ids=task.claim_ids,
+        report=report.to_dict(),
+        batches_run=service.batches_run,
+        wall_seconds=time.perf_counter() - started,
+        translator_state=translator_state,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# results
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcome of one shard of a sharded run."""
+
+    shard_index: int
+    claim_ids: tuple[str, ...]
+    report: VerificationReport
+    batches_run: int
+    wall_seconds: float
+    translator_state: dict | None = None
+
+    @property
+    def claim_count(self) -> int:
+        return len(self.claim_ids)
+
+
+@dataclass(frozen=True)
+class ShardedRunResult:
+    """Merged outcome of a sharded run."""
+
+    report: VerificationReport
+    shards: tuple[ShardResult, ...]
+    shard_count: int
+    executor: str
+    wall_seconds: float
+    merged_translator: ClaimTranslator | None = field(default=None, compare=False)
+
+    @property
+    def claim_count(self) -> int:
+        return self.report.claim_count
+
+    @property
+    def claims_per_second(self) -> float:
+        return self.claim_count / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+# ---------------------------------------------------------------------- #
+# the runner
+# ---------------------------------------------------------------------- #
+class ShardedVerificationRunner:
+    """Drives K verification services over a worker pool and merges results.
+
+    Parameters
+    ----------
+    corpus:
+        The annotated claim corpus shared by every shard.
+    config:
+        System configuration applied to every shard (each shard keeps its
+        own translator, session and RNG streams, all seeded identically —
+        determinism per shard is preserved no matter the executor).
+    shard_count:
+        Number of shards K.
+    executor:
+        ``"thread"`` (default), ``"process"`` or ``"serial"``.
+    max_workers:
+        Pool width; defaults to the shard count.
+    reconcile:
+        Whether :meth:`run` fits the merged global translator from the
+        union of per-shard training examples.
+    checkpoint_dir:
+        When given, every shard checkpoints a ``shard-K.json`` snapshot
+        after each batch; :meth:`resume` restarts from those files.
+    checkpoint_every:
+        Checkpoint frequency in batches (default: every batch).
+    """
+
+    def __init__(
+        self,
+        corpus: ClaimCorpus,
+        config: ScrutinizerConfig | None = None,
+        *,
+        shard_count: int = 4,
+        executor: str = "thread",
+        max_workers: int | None = None,
+        reconcile: bool = True,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 1,
+        system_name: str | None = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ConfigurationError("shard_count must be at least 1")
+        if executor not in _EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        if checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be at least 1")
+        self.corpus = corpus
+        self.config = config if config is not None else ScrutinizerConfig()
+        self.shard_count = shard_count
+        self.executor = executor
+        self.max_workers = max_workers if max_workers is not None else shard_count
+        self.reconcile = reconcile
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.checkpoint_every = checkpoint_every
+        self._system_name = (
+            system_name
+            if system_name is not None
+            else ("Scrutinizer" if self.config.claim_ordering else "Sequential")
+        )
+
+    # ------------------------------------------------------------------ #
+    # partitioning
+    # ------------------------------------------------------------------ #
+    def shard_assignments(
+        self, claim_ids: Sequence[str] | None = None
+    ) -> list[tuple[str, ...]]:
+        """The stable claim partition this runner will execute."""
+        ids = list(claim_ids) if claim_ids is not None else list(self.corpus.claim_ids)
+        return shard_claims(ids, self.shard_count)
+
+    def _checkpoint_path(self, shard_index: int) -> str | None:
+        if self.checkpoint_dir is None:
+            return None
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        return str(self.checkpoint_dir / f"shard-{shard_index}.json")
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        claim_ids: Sequence[str] | None = None,
+        max_batches_per_shard: int | None = None,
+    ) -> ShardedRunResult:
+        """Verify the claims across all shards and merge the outcomes."""
+        assignments = self.shard_assignments(claim_ids)
+        tasks = [
+            _ShardTask(
+                shard_index=index,
+                corpus=self.corpus,
+                config=self.config,
+                claim_ids=shard,
+                system_name=f"{self._system_name}-shard{index}",
+                max_batches=max_batches_per_shard,
+                checkpoint_path=self._checkpoint_path(index),
+                checkpoint_every=self.checkpoint_every,
+                collect_translator_state=self.reconcile,
+                resume_snapshot=None,
+            )
+            for index, shard in enumerate(assignments)
+            if shard
+        ]
+        return self._execute(tasks)
+
+    def resume(
+        self,
+        claim_ids: Sequence[str] | None = None,
+        max_batches_per_shard: int | None = None,
+    ) -> ShardedRunResult:
+        """Continue an interrupted sharded run from its checkpoint files.
+
+        ``claim_ids`` must match the original :meth:`run` call (defaults
+        to the whole corpus, like :meth:`run`): the stable partition then
+        reproduces the original shard assignment.  Three cases per shard:
+
+        * a snapshot showing a *completed* shard is folded straight into
+          the merge — no service rebuild, no re-execution;
+        * a snapshot showing an *in-progress* shard resumes from its
+          restored state (byte-identically to never having stopped);
+        * a shard with *no snapshot at all* — the run crashed before its
+          first checkpoint — is re-run from scratch, which is the same
+          thing deterministically, so no claim is ever silently dropped.
+
+        Resume therefore reaches exactly the verified-claim set an
+        uninterrupted run would have reached.
+        """
+        if self.checkpoint_dir is None:
+            raise ConfigurationError("resume requires a checkpoint_dir")
+        assignments = self.shard_assignments(claim_ids)
+        tasks: list[_ShardTask] = []
+        completed: list[ShardResult] = []
+        snapshots_found = 0
+        for index, shard in enumerate(assignments):
+            path = self.checkpoint_dir / f"shard-{index}.json"
+            snapshot = ServiceSnapshot.load(path) if path.exists() else None
+            if snapshot is not None:
+                snapshots_found += 1
+                if snapshot.is_complete:
+                    completed.append(
+                        ShardResult(
+                            shard_index=index,
+                            claim_ids=shard,
+                            report=VerificationReport.from_dict(snapshot.report)
+                            if snapshot.report is not None
+                            else VerificationReport(
+                                system_name=f"{self._system_name}-shard{index}",
+                                checker_count=self.config.checker_count,
+                            ),
+                            batches_run=snapshot.batch_index,
+                            wall_seconds=0.0,
+                            translator_state=snapshot.translator
+                            if self.reconcile
+                            else None,
+                        )
+                    )
+                    continue
+            elif not shard:
+                continue
+            tasks.append(
+                _ShardTask(
+                    shard_index=index,
+                    corpus=self.corpus,
+                    config=self.config,
+                    claim_ids=shard,
+                    system_name=f"{self._system_name}-shard{index}",
+                    max_batches=max_batches_per_shard,
+                    checkpoint_path=str(path),
+                    checkpoint_every=self.checkpoint_every,
+                    collect_translator_state=self.reconcile,
+                    resume_snapshot=snapshot.to_dict() if snapshot is not None else None,
+                )
+            )
+        if snapshots_found == 0:
+            raise SerializationError(
+                f"no shard checkpoints found in {self.checkpoint_dir}"
+            )
+        return self._execute(tasks, precompleted=completed)
+
+    def _execute(
+        self,
+        tasks: list[_ShardTask],
+        precompleted: Sequence[ShardResult] = (),
+    ) -> ShardedRunResult:
+        started = time.perf_counter()
+        if not tasks:
+            outcomes: list[_ShardOutcome] = []
+        elif self.executor == "serial" or len(tasks) == 1:
+            outcomes = [_execute_shard(task) for task in tasks]
+        else:
+            pool_cls = (
+                ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+            )
+            with pool_cls(max_workers=min(self.max_workers, len(tasks))) as pool:
+                outcomes = list(pool.map(_execute_shard, tasks))
+        executed = [
+            ShardResult(
+                shard_index=outcome.shard_index,
+                claim_ids=outcome.claim_ids,
+                report=VerificationReport.from_dict(outcome.report),
+                batches_run=outcome.batches_run,
+                wall_seconds=outcome.wall_seconds,
+                translator_state=outcome.translator_state,
+            )
+            for outcome in outcomes
+        ]
+        shards = tuple(
+            sorted(
+                executed + list(precompleted),
+                key=lambda shard: shard.shard_index,
+            )
+        )
+        merged = merge_shard_reports(
+            shards,
+            system_name=self._system_name,
+            checker_count=self.config.checker_count,
+        )
+        merged_translator = None
+        if self.reconcile:
+            merged_translator = reconcile_translator_states(
+                self.corpus,
+                self.config,
+                [shard.translator_state for shard in shards],
+            )
+        return ShardedRunResult(
+            report=merged,
+            shards=shards,
+            shard_count=self.shard_count,
+            executor=self.executor,
+            wall_seconds=time.perf_counter() - started,
+            merged_translator=merged_translator,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# merge semantics
+# ---------------------------------------------------------------------- #
+def merge_shard_reports(
+    shards: Sequence[ShardResult],
+    system_name: str,
+    checker_count: int,
+) -> VerificationReport:
+    """Fold per-shard reports into one global report.
+
+    * Verifications are ordered by (batch round, shard index): round 1 of
+      every shard, then round 2, and so on — the order the claims would
+      have been decided in if the shards ran in lockstep.  Batch indices
+      keep their per-shard values.
+    * ``computation_seconds`` (planning + retraining machine time) is the
+      sum over shards.
+    * ``accuracy_history[i]`` averages, per series, the round-``i`` entries
+      of every shard that was still running at round ``i``.
+    """
+    merged = VerificationReport(system_name=system_name, checker_count=checker_count)
+    ordered: list[tuple[int, int, object]] = []
+    for shard in shards:
+        merged.computation_seconds += shard.report.computation_seconds
+        for verification in shard.report.verifications:
+            ordered.append((verification.batch_index, shard.shard_index, verification))
+    ordered.sort(key=lambda item: (item[0], item[1]))
+    for _, _, verification in ordered:
+        merged.add(verification)
+    rounds = max((len(shard.report.accuracy_history) for shard in shards), default=0)
+    for round_index in range(rounds):
+        entries = [
+            shard.report.accuracy_history[round_index]
+            for shard in shards
+            if round_index < len(shard.report.accuracy_history)
+        ]
+        series: dict[str, float] = {}
+        for name in sorted({name for entry in entries for name in entry}):
+            values = [entry[name] for entry in entries if name in entry]
+            series[name] = sum(values) / len(values)
+        merged.accuracy_history.append(series)
+    return merged
+
+
+def reconcile_translator_states(
+    corpus: ClaimCorpus,
+    config: ScrutinizerConfig,
+    shard_states: Sequence[Mapping[str, object] | None],
+) -> ClaimTranslator | None:
+    """Fit one global translator from the union of per-shard examples.
+
+    Each shard trained on its own verified claims; the reconcile step
+    gathers every (claim id, labels) pair across shards — later shards win
+    on conflicts, which cannot happen for disjoint shards — and fits a
+    fresh translator on the union in corpus order.  Returns ``None`` when
+    no shard produced any training example.
+    """
+    labels_by_claim: dict[str, Mapping[str, str]] = {}
+    for state in shard_states:
+        if not state:
+            continue
+        suite_state = state.get("suite")
+        if not isinstance(suite_state, Mapping):
+            continue
+        for entry in suite_state.get("examples", ()):  # type: ignore[union-attr]
+            labels_by_claim[str(entry["claim_id"])] = entry["labels"]
+    if not labels_by_claim:
+        return None
+    translator = ClaimTranslator(corpus.database, config=config.translation)
+    all_claims = [corpus.claim(claim_id) for claim_id in corpus.claim_ids]
+    translator.bootstrap(all_claims, fit_features_only=True)
+    examples = [
+        TrainingExample(
+            claim=corpus.claim(claim_id),
+            labels={
+                ClaimProperty(claim_property): str(label)
+                for claim_property, label in labels_by_claim[claim_id].items()
+            },
+        )
+        for claim_id in corpus.claim_ids
+        if claim_id in labels_by_claim
+    ]
+    translator.suite.fit(examples)
+    return translator

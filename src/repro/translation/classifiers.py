@@ -18,19 +18,24 @@ the models cold).
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
-from dataclasses import dataclass
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.claims.model import Claim, ClaimGroundTruth, ClaimProperty
-from repro.errors import NotFittedError, TranslationError
+from repro.errors import ConfigurationError, NotFittedError, TranslationError
 from repro.ml.base import Prediction
 from repro.ml.knn import KNearestNeighborsClassifier
 from repro.ml.logistic import SoftmaxRegressionClassifier
+from repro.ml.naive_bayes import MultinomialNaiveBayesClassifier
+from repro.ml.state import model_from_state, model_to_state
 from repro.pipeline.batch import ClaimBatchPredictions, PropertyBatch
 from repro.pipeline.feature_store import ClaimFeatureStore
 from repro.translation.preprocess import ClaimPreprocessor
+
+#: Model backends selectable through :attr:`SuiteConfig.model_kind`.
+MODEL_KINDS = ("auto", "softmax", "knn", "naive_bayes")
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,17 @@ class SuiteConfig:
     #: Refit the TF-IDF vocabulary after this many accumulated unseen
     #: n-grams (0 disables; see ``TranslationConfig``).
     vocabulary_refit_threshold: int = 200
+    #: Which model backend to use: ``"auto"`` picks softmax above the
+    #: parametric threshold and k-NN below it (the paper's setup), while
+    #: ``"softmax"``, ``"knn"`` and ``"naive_bayes"`` force one backend for
+    #: every property regardless of training-set size.
+    model_kind: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.model_kind not in MODEL_KINDS:
+            raise ConfigurationError(
+                f"model_kind must be one of {MODEL_KINDS}, got {self.model_kind!r}"
+            )
 
 
 class PropertyClassifierSuite:
@@ -204,16 +220,27 @@ class PropertyClassifierSuite:
 
     def _resolve_model(self, previous: object | None, sample_count: int, class_count: int):
         """Pick the model for one property, continuing a warm fit if possible."""
-        wants_parametric = (
-            sample_count >= self._config.parametric_threshold and class_count >= 2
+        wants_softmax = self._config.model_kind == "softmax" or (
+            self._config.model_kind == "auto"
+            and sample_count >= self._config.parametric_threshold
+            and class_count >= 2
         )
-        if wants_parametric and isinstance(previous, SoftmaxRegressionClassifier):
+        if wants_softmax and isinstance(previous, SoftmaxRegressionClassifier):
             return previous
         return self._make_model(sample_count, class_count)
 
     def _make_model(self, sample_count: int, class_count: int):
-        if sample_count < self._config.parametric_threshold or class_count < 2:
+        kind = self._config.model_kind
+        if kind == "auto":
+            kind = (
+                "knn"
+                if sample_count < self._config.parametric_threshold or class_count < 2
+                else "softmax"
+            )
+        if kind == "knn":
             return KNearestNeighborsClassifier(k=min(self._config.knn_neighbors, sample_count))
+        if kind == "naive_bayes":
+            return MultinomialNaiveBayesClassifier()
         return SoftmaxRegressionClassifier(
             learning_rate=self._config.learning_rate,
             epochs=self._config.epochs,
@@ -310,3 +337,77 @@ class PropertyClassifierSuite:
         """Mean accuracy across the four classifiers (Figure 8 series)."""
         scores = self.evaluate_accuracy(claims, truths, top_k)
         return float(np.mean(list(scores.values())))
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible state of the whole suite.
+
+        Training examples are stored as claim-id/label pairs (the claims
+        themselves come back from the corpus on restore), models through
+        their own ``to_state`` hooks.  The preprocessor is *not* included —
+        it is shared infrastructure serialized separately by
+        :class:`~repro.runtime.snapshot.ServiceSnapshot`.
+        """
+        return {
+            "config": asdict(self._config),
+            "examples": [
+                {
+                    "claim_id": example.claim.claim_id,
+                    "labels": {
+                        claim_property.value: label
+                        for claim_property, label in example.labels.items()
+                    },
+                }
+                for example in self._examples
+            ],
+            "retrain_count": self._retrain_count,
+            "unseen_terms": sorted(self._unseen_terms),
+            "absorbed_example_count": self._absorbed_example_count,
+            "models": {
+                claim_property.value: model_to_state(model)
+                for claim_property, model in self._models.items()
+            },
+            "models_current_generation": (
+                self._models_generation is not None
+                and self._models_generation == self._store.generation
+            ),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Mapping[str, object],
+        preprocessor: ClaimPreprocessor,
+        claim_lookup: Callable[[str], Claim],
+    ) -> "PropertyClassifierSuite":
+        """Rebuild a suite around an already-restored preprocessor.
+
+        ``claim_lookup`` resolves the stored claim ids back to corpus
+        claims (training examples keep their texts out of the state).  The
+        restored models serve byte-identical predictions, and warm-start
+        eligibility is preserved: models captured against the current
+        featurizer generation remain warm-startable after restore.
+        """
+        suite = cls(preprocessor, SuiteConfig(**state["config"]))  # type: ignore[arg-type]
+        suite._examples = [
+            TrainingExample(
+                claim=claim_lookup(str(entry["claim_id"])),
+                labels={
+                    ClaimProperty(claim_property): str(label)
+                    for claim_property, label in entry["labels"].items()
+                },
+            )
+            for entry in state.get("examples", ())  # type: ignore[union-attr]
+        ]
+        suite._retrain_count = int(state.get("retrain_count", 0))  # type: ignore[arg-type]
+        suite._unseen_terms = {str(term) for term in state.get("unseen_terms", ())}  # type: ignore[union-attr]
+        suite._absorbed_example_count = int(state.get("absorbed_example_count", 0))  # type: ignore[arg-type]
+        suite._models = {
+            ClaimProperty(claim_property): model_from_state(model_state)
+            for claim_property, model_state in state.get("models", {}).items()  # type: ignore[union-attr]
+        }
+        if suite._models and state.get("models_current_generation"):
+            suite._models_generation = suite._store.generation
+        return suite

@@ -7,8 +7,8 @@ explicit claims.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -121,3 +121,33 @@ class ClaimPreprocessor:
     @property
     def is_fitted(self) -> bool:
         return self._featurizer.is_fitted
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible state: featurizer config plus the fit corpus.
+
+        Fitting is a deterministic function of the config and the fit
+        texts, so the state stores those instead of vocabularies and IDF
+        arrays; :meth:`from_state` refits and lands on byte-identical
+        feature vectors.
+        """
+        return {
+            "featurizer_config": asdict(self._featurizer.config),
+            "claim_texts": list(self._fitted_claim_texts),
+            "sentence_texts": list(self._fitted_sentence_texts),
+            "fitted": self.is_fitted,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "ClaimPreprocessor":
+        """Rebuild a preprocessor producing byte-identical features."""
+        config = FeaturizerConfig(**state["featurizer_config"])  # type: ignore[arg-type]
+        preprocessor = cls(ClaimFeaturizer(config))
+        if state.get("fitted"):
+            preprocessor.fit_texts(
+                list(state.get("claim_texts", ())),  # type: ignore[arg-type]
+                list(state.get("sentence_texts", ())),  # type: ignore[arg-type]
+            )
+        return preprocessor

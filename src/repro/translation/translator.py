@@ -9,8 +9,8 @@ to generate and tentatively execute candidate queries.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import asdict, dataclass, field
 
 from repro.claims.model import Claim, ClaimGroundTruth, ClaimProperty
 from repro.config import TranslationConfig
@@ -68,6 +68,7 @@ class ClaimTranslator:
                 vocabulary_refit_threshold=self.config.vocabulary_refit_threshold,
             )
         self._suite = PropertyClassifierSuite(self._preprocessor, suite_config)
+        self._key_attribute = key_attribute
         self._generator = QueryGenerator(
             database, config=self.config, key_attribute=key_attribute
         )
@@ -236,3 +237,49 @@ class ClaimTranslator:
             except FormulaSyntaxError:
                 continue
         return formulas
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible state of the translation component.
+
+        Covers the translation config, the fitted preprocessor and the
+        classifier suite (models, training examples, refit accounting).
+        The database is deliberately excluded — it is shared, read-only
+        infrastructure that the restoring side already holds.
+        """
+        return {
+            "kind": "claim_translator",
+            "config": asdict(self.config),
+            "key_attribute": self._key_attribute,
+            "preprocessor": self._preprocessor.to_state(),
+            "suite": self._suite.to_state(),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        database: Database,
+        state: Mapping[str, object],
+        claim_lookup: Callable[[str], Claim],
+    ) -> "ClaimTranslator":
+        """Rebuild a translator from :meth:`to_state` output.
+
+        ``claim_lookup`` resolves stored training-example claim ids (e.g.
+        ``corpus.claim``).  The restored translator predicts byte-identically
+        to the captured one: the preprocessor refits deterministically on
+        its stored fit corpus and the models restore their exact weights.
+        """
+        config = TranslationConfig(**state["config"])  # type: ignore[arg-type]
+        preprocessor = ClaimPreprocessor.from_state(state["preprocessor"])  # type: ignore[arg-type]
+        translator = cls(
+            database,
+            config=config,
+            preprocessor=preprocessor,
+            key_attribute=str(state.get("key_attribute", "Index")),
+        )
+        translator._suite = PropertyClassifierSuite.from_state(
+            state["suite"], preprocessor, claim_lookup  # type: ignore[arg-type]
+        )
+        return translator

@@ -1,0 +1,336 @@
+"""Sharded execution: partitioning, merging, resume and the CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.config import BatchingConfig, ScrutinizerConfig
+from repro.errors import ConfigurationError, SerializationError
+from repro.runtime.cli import main as runtime_main
+from repro.runtime.sharding import (
+    ShardedVerificationRunner,
+    merge_shard_reports,
+    shard_claims,
+)
+from repro.synth.energy_data import EnergyDataConfig
+from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def shard_corpus():
+    return generate_corpus(
+        SyntheticCorpusConfig(
+            claim_count=40,
+            section_count=6,
+            explicit_fraction=0.5,
+            error_fraction=0.25,
+            data=EnergyDataConfig(relation_count=8, rows_per_relation=10, seed=9),
+            seed=8,
+        )
+    )
+
+
+def _config() -> ScrutinizerConfig:
+    return ScrutinizerConfig(
+        batching=BatchingConfig(min_batch_size=1, max_batch_size=10), seed=13
+    )
+
+
+# ---------------------------------------------------------------------- #
+# partitioning
+# ---------------------------------------------------------------------- #
+def test_shard_claims_partitions_completely(shard_corpus):
+    ids = list(shard_corpus.claim_ids)
+    shards = shard_claims(ids, 4)
+    assert len(shards) == 4
+    flattened = [claim_id for shard in shards for claim_id in shard]
+    assert sorted(flattened) == sorted(ids)
+    # Within a shard the document order is preserved.
+    position = {claim_id: index for index, claim_id in enumerate(ids)}
+    for shard in shards:
+        assert list(shard) == sorted(shard, key=position.__getitem__)
+
+
+def test_shard_claims_is_stable(shard_corpus):
+    ids = list(shard_corpus.claim_ids)
+    assert shard_claims(ids, 3) == shard_claims(ids, 3)
+    # The key is content-based, not enumeration-based: shuffling the input
+    # moves no claim to a different shard.
+    shuffled = list(reversed(ids))
+    direct = {cid: index for index, shard in enumerate(shard_claims(ids, 3)) for cid in shard}
+    rotated = {
+        cid: index for index, shard in enumerate(shard_claims(shuffled, 3)) for cid in shard
+    }
+    assert direct == rotated
+
+
+def test_shard_claims_rejects_bad_counts():
+    with pytest.raises(ConfigurationError):
+        shard_claims(["c1"], 0)
+
+
+def test_single_shard_contains_everything(shard_corpus):
+    shards = shard_claims(list(shard_corpus.claim_ids), 1)
+    assert shards == [tuple(shard_corpus.claim_ids)]
+
+
+# ---------------------------------------------------------------------- #
+# running and merging
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("executor", ["serial", "thread"])
+def test_sharded_run_verifies_every_claim_once(shard_corpus, executor):
+    runner = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=3, executor=executor
+    )
+    result = runner.run()
+    claim_ids = [v.claim_id for v in result.report.verifications]
+    assert sorted(claim_ids) == sorted(shard_corpus.claim_ids)
+    assert len(set(claim_ids)) == len(claim_ids)
+    assert result.shard_count == 3
+    assert len(result.shards) == 3
+    # Machine time sums over shards.
+    assert result.report.computation_seconds == pytest.approx(
+        sum(shard.report.computation_seconds for shard in result.shards)
+    )
+
+
+def test_sharded_run_is_deterministic(shard_corpus):
+    first = ShardedVerificationRunner(shard_corpus, _config(), shard_count=3).run()
+    second = ShardedVerificationRunner(shard_corpus, _config(), shard_count=3).run()
+    assert [v.claim_id for v in first.report.verifications] == [
+        v.claim_id for v in second.report.verifications
+    ]
+    assert {v.claim_id: v.verdict for v in first.report.verifications} == {
+        v.claim_id: v.verdict for v in second.report.verifications
+    }
+
+
+def test_process_executor_round_trips_state(shard_corpus):
+    runner = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=2, executor="process"
+    )
+    result = runner.run()
+    assert sorted(v.claim_id for v in result.report.verifications) == sorted(
+        shard_corpus.claim_ids
+    )
+    # Serial and process execution of the same shards agree claim by claim.
+    serial = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=2, executor="serial"
+    ).run()
+    assert {v.claim_id: v.verdict for v in result.report.verifications} == {
+        v.claim_id: v.verdict for v in serial.report.verifications
+    }
+
+
+def test_merge_orders_by_round_then_shard(shard_corpus):
+    result = ShardedVerificationRunner(shard_corpus, _config(), shard_count=3).run()
+    shard_of = {
+        claim_id: shard.shard_index
+        for shard in result.shards
+        for claim_id in shard.claim_ids
+    }
+    keys = [
+        (v.batch_index, shard_of[v.claim_id]) for v in result.report.verifications
+    ]
+    assert keys == sorted(keys)
+
+
+def test_merge_averages_accuracy_history(shard_corpus):
+    result = ShardedVerificationRunner(shard_corpus, _config(), shard_count=2).run()
+    rounds = max(len(shard.report.accuracy_history) for shard in result.shards)
+    assert len(result.report.accuracy_history) == rounds
+    for round_index, entry in enumerate(result.report.accuracy_history):
+        contributions = [
+            shard.report.accuracy_history[round_index]
+            for shard in result.shards
+            if round_index < len(shard.report.accuracy_history)
+        ]
+        for series, value in entry.items():
+            values = [c[series] for c in contributions if series in c]
+            assert value == pytest.approx(sum(values) / len(values))
+
+
+def test_merge_shard_reports_empty():
+    merged = merge_shard_reports([], system_name="empty", checker_count=1)
+    assert merged.claim_count == 0
+    assert merged.accuracy_history == []
+
+
+def test_reconciled_translator_predicts(shard_corpus):
+    result = ShardedVerificationRunner(shard_corpus, _config(), shard_count=3).run()
+    translator = result.merged_translator
+    assert translator is not None and translator.is_trained
+    predictions = translator.predict(shard_corpus.claim(shard_corpus.claim_ids[0]))
+    assert len(predictions) == 4
+    # The union of shard examples is the whole corpus.
+    assert translator.suite.example_count == shard_corpus.claim_count
+
+
+def test_reconcile_can_be_disabled(shard_corpus):
+    result = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=2, reconcile=False
+    ).run()
+    assert result.merged_translator is None
+    assert all(shard.translator_state is None for shard in result.shards)
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint / resume
+# ---------------------------------------------------------------------- #
+def test_interrupted_sharded_run_resumes_to_same_result(tmp_path, shard_corpus):
+    """Acceptance: interrupt per shard, resume, match the straight run."""
+    straight = ShardedVerificationRunner(shard_corpus, _config(), shard_count=3).run()
+
+    checkpoint_dir = tmp_path / "ckpt"
+    interrupted = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=3, checkpoint_dir=checkpoint_dir
+    )
+    partial = interrupted.run(max_batches_per_shard=1)
+    assert partial.claim_count < shard_corpus.claim_count
+    assert sorted(path.name for path in checkpoint_dir.glob("shard-*.json")) == [
+        "shard-0.json",
+        "shard-1.json",
+        "shard-2.json",
+    ]
+
+    resumed = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=3, checkpoint_dir=checkpoint_dir
+    ).resume()
+    assert {v.claim_id: v.verdict for v in resumed.report.verifications} == {
+        v.claim_id: v.verdict for v in straight.report.verifications
+    }
+    assert resumed.report.total_seconds == pytest.approx(straight.report.total_seconds)
+
+
+def test_resume_of_completed_run_is_a_no_op(tmp_path, shard_corpus):
+    checkpoint_dir = tmp_path / "ckpt"
+    runner = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=2, checkpoint_dir=checkpoint_dir
+    )
+    finished = runner.run()
+    resumed = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=2, checkpoint_dir=checkpoint_dir
+    ).resume()
+    assert {v.claim_id: v.verdict for v in resumed.report.verifications} == {
+        v.claim_id: v.verdict for v in finished.report.verifications
+    }
+
+
+def test_resume_reruns_shards_that_never_checkpointed(tmp_path, shard_corpus):
+    """A crash before a shard's first checkpoint must not drop its claims."""
+    straight = ShardedVerificationRunner(shard_corpus, _config(), shard_count=3).run()
+    checkpoint_dir = tmp_path / "ckpt"
+    interrupted = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=3, checkpoint_dir=checkpoint_dir
+    )
+    interrupted.run(max_batches_per_shard=1)
+    # Simulate a crash that happened before shard 1 ever wrote a snapshot.
+    (checkpoint_dir / "shard-1.json").unlink()
+
+    resumed = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=3, checkpoint_dir=checkpoint_dir
+    ).resume()
+    assert {v.claim_id: v.verdict for v in resumed.report.verifications} == {
+        v.claim_id: v.verdict for v in straight.report.verifications
+    }
+
+
+def test_resume_folds_completed_shards_without_rerunning(tmp_path, shard_corpus):
+    """Completed shards come back from their snapshots, not from services."""
+    checkpoint_dir = tmp_path / "ckpt"
+    ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=2, checkpoint_dir=checkpoint_dir
+    ).run()
+    mtimes = {
+        path.name: path.stat().st_mtime_ns
+        for path in checkpoint_dir.glob("shard-*.json")
+    }
+    resumed = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=2, checkpoint_dir=checkpoint_dir
+    ).resume()
+    # No shard was re-executed, so no checkpoint was rewritten...
+    assert {
+        path.name: path.stat().st_mtime_ns
+        for path in checkpoint_dir.glob("shard-*.json")
+    } == mtimes
+    assert all(shard.wall_seconds == 0.0 for shard in resumed.shards)
+    # ...yet the merge still carries every claim and the reconciled model.
+    assert sorted(v.claim_id for v in resumed.report.verifications) == sorted(
+        shard_corpus.claim_ids
+    )
+    assert resumed.merged_translator is not None and resumed.merged_translator.is_trained
+
+
+def test_resume_without_checkpoints_raises(tmp_path, shard_corpus):
+    runner = ShardedVerificationRunner(
+        shard_corpus, _config(), shard_count=2, checkpoint_dir=tmp_path / "empty"
+    )
+    with pytest.raises(SerializationError):
+        runner.resume()
+
+
+def test_resume_requires_checkpoint_dir(shard_corpus):
+    runner = ShardedVerificationRunner(shard_corpus, _config(), shard_count=2)
+    with pytest.raises(ConfigurationError):
+        runner.resume()
+
+
+# ---------------------------------------------------------------------- #
+# the CLI
+# ---------------------------------------------------------------------- #
+def test_cli_run_status_resume_cycle(tmp_path):
+    checkpoint = tmp_path / "ck"
+    report_path = tmp_path / "report.json"
+    out = io.StringIO()
+    code = runtime_main(
+        [
+            "run",
+            "--claims", "24",
+            "--batch-size", "8",
+            "--shards", "2",
+            "--executor", "serial",
+            "--max-batches", "1",
+            "--checkpoint", str(checkpoint),
+        ],
+        out=out,
+    )
+    assert code == 0
+    assert (checkpoint / "manifest.json").exists()
+
+    out = io.StringIO()
+    assert runtime_main(["status", "--checkpoint", str(checkpoint)], out=out) == 0
+    status_text = out.getvalue()
+    assert "in progress" in status_text
+
+    out = io.StringIO()
+    code = runtime_main(
+        ["resume", "--checkpoint", str(checkpoint), "--report", str(report_path)],
+        out=out,
+    )
+    assert code == 0
+    assert report_path.exists()
+    payload = json.loads(report_path.read_text())
+    assert len(payload["verifications"]) == 24
+
+    out = io.StringIO()
+    assert runtime_main(["status", "--checkpoint", str(checkpoint)], out=out) == 0
+    assert "complete" in out.getvalue()
+    assert "0 pending" in out.getvalue()
+
+
+def test_cli_resume_rejects_non_checkpoint_directory(tmp_path):
+    assert runtime_main(["resume", "--checkpoint", str(tmp_path)]) == 1
+
+
+def test_cli_run_without_checkpoint(tmp_path):
+    out = io.StringIO()
+    code = runtime_main(
+        ["run", "--claims", "16", "--batch-size", "8", "--shards", "1",
+         "--executor", "serial"],
+        out=out,
+    )
+    assert code == 0
+    assert "verified 16 claims" in out.getvalue()
