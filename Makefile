@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-runtime lint check
+.PHONY: test bench bench-quick bench-runtime bench-serving coverage lint check
 
 # Tier-1 verification: the full unit + benchmark suite, fail-fast.
 test:
@@ -22,6 +22,25 @@ bench-quick:
 # BENCH_runtime_scaling.json at the repository root (CI uploads it).
 bench-runtime:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_runtime_scaling.py -q
+
+# Multi-tenant serving benchmark in its reduced configuration; writes
+# BENCH_serving_throughput.json at the repository root (CI uploads it).
+bench-serving:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_serving_throughput.py -q
+
+# Coverage gate over the unit suite (pytest-cov): fails below COV_FLOOR
+# percent line coverage of src/repro and writes an HTML report to
+# htmlcov/ (CI uploads it as an artifact).  The floor sits just below the
+# measured coverage so genuine regressions fail while noise does not.
+COV_FLOOR ?= 88
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term \
+			--cov-report=html:htmlcov --cov-fail-under=$(COV_FLOOR); \
+	else \
+		echo "pytest-cov not installed; pip install -r requirements-dev.txt"; \
+		exit 1; \
+	fi
 
 # Bytecode-compile every source tree (skipping __pycache__ artifacts);
 # additionally runs ruff when installed (CI installs it from

@@ -1,0 +1,109 @@
+"""Benchmark: serving throughput as concurrent tenants grow.
+
+One verification session over N claims re-predicts an O(N) pending pool
+and retrains on an O(N) example set every batch; T tenant sessions over
+N/T claims each do superlinearly less per-batch work — the same
+structural effect that drives the sharded runner, now realized at the
+serving layer where every session is an independent tenant behind
+admission control.  This benchmark drives a fixed claim population
+through the :class:`~repro.serving.server.VerificationServer` at 1, 4 and
+16 concurrent tenants and records sustained claims/sec and p95 per-batch
+serving latency in ``BENCH_serving_throughput.json`` at the repository
+root.
+
+``REPRO_BENCH_QUICK=1`` (the ``make bench-serving`` configuration) drops
+the repeat count so the benchmark finishes in seconds on CI runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.serving.server import AdmissionPolicy, VerificationServer
+from repro.serving.workloads import percentile
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving_throughput.json"
+_TENANT_COUNTS = (1, 4, 16)
+
+
+def _serve_once(corpus, config, tenant_count: int) -> list[float]:
+    """Serve the whole corpus split across ``tenant_count`` tenants.
+
+    Returns the per-batch serving latencies observed by the scheduler.
+    """
+    server = VerificationServer(
+        corpus,
+        config,
+        policy=AdmissionPolicy(
+            max_tenants=tenant_count, max_resident_sessions=tenant_count
+        ),
+        executor="thread",
+    )
+    for index in range(tenant_count):
+        claims = [
+            claim_id
+            for position, claim_id in enumerate(corpus.claim_ids)
+            if position % tenant_count == index
+        ]
+        server.submit(f"tenant-{index:02d}", claims)
+    outcomes = server.run_until_idle()
+    latencies = [outcome.wall_seconds for outcome in outcomes]
+    verified = sum(
+        len(server.verified_claim_ids(tenant_id)) for tenant_id in server.tenant_ids
+    )
+    assert verified == corpus.claim_count
+    server.close()
+    return latencies
+
+
+def test_bench_serving_throughput(corpus, scenario):
+    quick = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+    repeats = 1 if quick else 2
+    claim_count = corpus.claim_count
+
+    results: dict[int, dict[str, float]] = {}
+    for tenant_count in _TENANT_COUNTS:
+        best_wall = None
+        best_latencies: list[float] = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            latencies = _serve_once(corpus, scenario.system, tenant_count)
+            wall = time.perf_counter() - started
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+                best_latencies = latencies
+        results[tenant_count] = {
+            "wall_seconds": best_wall,
+            "claims_per_second": claim_count / best_wall,
+            "p95_batch_latency_seconds": percentile(best_latencies, 95),
+        }
+
+    speedup = (
+        results[16]["claims_per_second"] / results[1]["claims_per_second"]
+    )
+    payload = {
+        "benchmark": "serving_throughput",
+        "claim_count": claim_count,
+        "repeats": repeats,
+        "quick": quick,
+        "executor": "thread",
+        "tenants": {str(count): metrics for count, metrics in results.items()},
+        "speedup_16_over_1": speedup,
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    summary = ", ".join(
+        f"{count} tenant(s) {metrics['claims_per_second']:,.0f} claims/s "
+        f"(p95 {metrics['p95_batch_latency_seconds'] * 1000.0:.0f}ms)"
+        for count, metrics in results.items()
+    )
+    print(f"\nserving throughput over {claim_count} claims: {summary}; "
+          f"16-over-1 speedup {speedup:.1f}x")
+
+    # The acceptance bar: 16 concurrent tenants must sustain at least 2x
+    # the claims/sec of a single sequential tenant session.  The win is
+    # structural (per-tenant pending pools and training sets are 1/16th
+    # the size), so the margin absorbs CI-runner noise.
+    assert speedup >= 2.0

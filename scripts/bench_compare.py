@@ -34,9 +34,20 @@ def _load_metric(path: Path, key: str) -> float:
     except json.JSONDecodeError as error:
         raise _UnusableInput(f"{path} is not valid JSON: {error}") from error
     value = payload
+    walked: list[str] = []
     for part in key.split("."):
-        if not isinstance(value, dict) or part not in value:
-            raise _UnusableInput(f"{path} has no key {key!r}")
+        walked.append(part)
+        if not isinstance(value, dict):
+            raise _UnusableInput(
+                f"{path} has no key {key!r}: {'.'.join(walked[:-1])!r} "
+                f"is not an object"
+            )
+        if part not in value:
+            available = ", ".join(sorted(value)) or "<none>"
+            raise _UnusableInput(
+                f"{path} has no key {key!r} (missing {'.'.join(walked)!r}; "
+                f"available at that level: {available})"
+            )
         value = value[part]
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         raise _UnusableInput(f"{path}:{key} is not numeric: {value!r}")
@@ -65,11 +76,19 @@ def main(argv: list[str] | None = None) -> int:
     try:
         baseline = _load_metric(args.baseline, args.key)
         fresh = _load_metric(args.fresh, args.key)
+        # The tracked metrics are higher-is-better ratios/rates; a zero or
+        # negative baseline makes "fractional drop" meaningless, so it is
+        # an unusable input, not a pass or a regression.
+        if baseline <= 0.0:
+            raise _UnusableInput(
+                f"{args.baseline}:{args.key} baseline must be positive "
+                f"for a drop comparison, got {baseline!r}"
+            )
     except _UnusableInput as error:
         print(f"bench_compare: {error}", file=sys.stderr)
         return 2
     floor = baseline * (1.0 - args.max_drop)
-    change = (fresh - baseline) / baseline if baseline else float("inf")
+    change = (fresh - baseline) / baseline
     verdict = "OK" if fresh >= floor else "REGRESSION"
     print(
         f"bench_compare [{verdict}] {args.key}: baseline {baseline:.3f}, "

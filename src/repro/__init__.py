@@ -45,6 +45,10 @@ The substrates, mirroring the paper's structure:
   and versioned JSON checkpoints with byte-identical resume
   (:class:`~repro.runtime.snapshot.ServiceSnapshot`,
   ``python -m repro.runtime``).
+* :mod:`repro.serving` — the multi-tenant serving layer: one
+  :class:`~repro.serving.server.VerificationServer` multiplexes many tenant
+  sessions behind admission control, passivating idle sessions to
+  snapshots and rehydrating them on demand (``python -m repro.serving``).
 * :mod:`repro.synth` — a synthetic substitute for the proprietary IEA corpus.
 * :mod:`repro.experiments` — one entry point per table/figure of the paper.
 """
@@ -61,12 +65,14 @@ from repro.pipeline.batch import ClaimBatchPredictions
 from repro.pipeline.feature_store import ClaimFeatureStore
 from repro.runtime.sharding import ShardedVerificationRunner
 from repro.runtime.snapshot import ServiceSnapshot
+from repro.serving.server import AdmissionPolicy, VerificationServer
 from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
 from repro.translation.translator import ClaimTranslator
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "AdmissionPolicy",
     "AnswerSource",
     "BatchResult",
     "BatchSelector",
@@ -87,6 +93,7 @@ __all__ = [
     "SyntheticCorpusConfig",
     "TranslationBackend",
     "VerificationReport",
+    "VerificationServer",
     "VerificationService",
     "generate_corpus",
     "__version__",

@@ -31,7 +31,13 @@ from repro.api.serialization import (
     verification_to_dict,
     write_report,
 )
-from repro.api.service import BatchResult, ProgressCallback, VerificationService
+from repro.api.service import (
+    LIFECYCLE_EVENTS,
+    BatchResult,
+    LifecycleCallback,
+    ProgressCallback,
+    VerificationService,
+)
 
 __all__ = [
     "AnswerSource",
@@ -39,6 +45,8 @@ __all__ = [
     "BatchSelector",
     "BatchTranslationBackend",
     "Checker",
+    "LIFECYCLE_EVENTS",
+    "LifecycleCallback",
     "ProgressCallback",
     "ScrutinizerBuilder",
     "TranslationBackend",

@@ -45,7 +45,13 @@ from repro.planning.batching import BatchCandidate
 from repro.planning.planner import QuestionPlanner
 from repro.translation.translator import ClaimTranslator
 
-__all__ = ["BatchResult", "ProgressCallback", "VerificationService"]
+__all__ = [
+    "BatchResult",
+    "LIFECYCLE_EVENTS",
+    "LifecycleCallback",
+    "ProgressCallback",
+    "VerificationService",
+]
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,20 @@ class BatchResult:
 
 
 ProgressCallback = Callable[[BatchResult], None]
+
+#: Session lifecycle events observable via
+#: :meth:`VerificationService.on_lifecycle_event`, in the order a typical
+#: run emits them.  ``"submitted"`` fires on every (non-empty) submit,
+#: ``"batch"`` after each batch, ``"completed"`` when the last pending
+#: claim of the run is decided, ``"snapshot"`` after a checkpoint capture,
+#: ``"restored"`` after snapshot state is applied, ``"reset"`` when a new
+#: run begins over the same components.
+LIFECYCLE_EVENTS = ("submitted", "batch", "completed", "snapshot", "restored", "reset")
+
+#: Receives the event name and the service it happened on.  A serving
+#: layer uses these hooks to track tenant activity (admission accounting,
+#: idle detection for eviction) without polling the session.
+LifecycleCallback = Callable[[str, "VerificationService"], None]
 
 
 class VerificationService:
@@ -164,6 +184,7 @@ class VerificationService:
             for section in corpus.document.sections
         }
         self._callbacks: list[ProgressCallback] = []
+        self._lifecycle_callbacks: list[LifecycleCallback] = []
         self._session: VerificationSession | None = None
         self._report: VerificationReport | None = None
         self._batch_index = 0
@@ -232,12 +253,28 @@ class VerificationService:
         self._report = None
         self._batch_index = 0
         self._track_accuracy = track_accuracy
+        self._emit("reset")
         return self
 
     def on_batch_complete(self, callback: ProgressCallback) -> "VerificationService":
         """Register a callback invoked with each :class:`BatchResult`."""
         self._callbacks.append(callback)
         return self
+
+    def on_lifecycle_event(self, callback: LifecycleCallback) -> "VerificationService":
+        """Register a callback for session lifecycle transitions.
+
+        The callback receives ``(event, service)`` for every event in
+        :data:`LIFECYCLE_EVENTS`.  Callbacks survive :meth:`reset`, like
+        progress callbacks, so a serving layer observing a session keeps
+        observing it across runs.
+        """
+        self._lifecycle_callbacks.append(callback)
+        return self
+
+    def _emit(self, event: str) -> None:
+        for callback in self._lifecycle_callbacks:
+            callback(event, self)
 
     # ------------------------------------------------------------------ #
     # checkpoint / restore
@@ -253,7 +290,9 @@ class VerificationService:
         """
         from repro.runtime.snapshot import ServiceSnapshot
 
-        return ServiceSnapshot.capture(self, metadata=metadata)
+        snapshot = ServiceSnapshot.capture(self, metadata=metadata)
+        self._emit("snapshot")
+        return snapshot
 
     def get_rng_state(self) -> dict:
         """The accuracy-sampling generator state, for checkpointing."""
@@ -291,6 +330,7 @@ class VerificationService:
             restore = getattr(checker, "restore_state", None)
             if restore is not None and state is not None:
                 restore(state)
+        self._emit("restored")
 
     # ------------------------------------------------------------------ #
     # incremental verification
@@ -314,6 +354,7 @@ class VerificationService:
             self._session = VerificationSession(ids)
         else:
             self._session.submit(ids)
+        self._emit("submitted")
         return self
 
     def run_batch(self) -> BatchResult | None:
@@ -397,6 +438,9 @@ class VerificationService:
         )
         for callback in self._callbacks:
             callback(result)
+        self._emit("batch")
+        if session.is_complete:
+            self._emit("completed")
         return result
 
     def iter_results(self) -> Iterator[ClaimVerification]:

@@ -111,3 +111,23 @@ class ConfigurationError(ReproError):
 
 class SerializationError(ReproError):
     """A report or verification payload could not be (de)serialized."""
+
+
+class ServingError(ReproError):
+    """Problems in the multi-tenant serving layer."""
+
+
+class UnknownTenantError(ServingError):
+    """A request referenced a tenant the server has never admitted."""
+
+    def __init__(self, tenant_id: str) -> None:
+        super().__init__(f"unknown tenant: {tenant_id!r}")
+        self.tenant_id = tenant_id
+
+
+class AdmissionError(ServingError):
+    """The admission policy rejected a request (registry or quota bound)."""
+
+
+class BackpressureError(AdmissionError):
+    """The submission queue is full; the caller should retry later."""

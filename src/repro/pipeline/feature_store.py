@@ -40,14 +40,63 @@ class ClaimFeatureStore:
     many consumers without defensive copies.
     """
 
-    def __init__(self, preprocessor: ClaimPreprocessor) -> None:
+    def __init__(
+        self, preprocessor: ClaimPreprocessor, max_rows: int | None = None
+    ) -> None:
+        if max_rows is not None and max_rows < 1:
+            raise ValueError("max_rows must be at least 1 (or None for unbounded)")
         self._preprocessor = preprocessor
         self._rows: dict[str, np.ndarray] = {}
         self._generation = preprocessor.feature_generation
+        self._max_rows = max_rows
 
     @property
     def preprocessor(self) -> ClaimPreprocessor:
         return self._preprocessor
+
+    @property
+    def max_rows(self) -> int | None:
+        """Cache capacity bound; ``None`` means unbounded.
+
+        A multi-tenant server sets this per session so that many resident
+        tenants cannot together hold every feature row of a large corpus in
+        memory: each tenant's cache holds its own working set only — the
+        stores are per-suite instances, so tenants are isolated from each
+        other's invalidations and evictions by construction.
+        """
+        return self._max_rows
+
+    @max_rows.setter
+    def max_rows(self, value: int | None) -> None:
+        if value is not None and value < 1:
+            raise ValueError("max_rows must be at least 1 (or None for unbounded)")
+        self._max_rows = value
+        self._evict_over_capacity()
+
+    def forget(self, claim_ids: Sequence[str]) -> int:
+        """Drop the cached rows of specific claims (e.g. verified ones).
+
+        Returns how many rows were actually dropped.  Claims that were
+        never cached are ignored, so a caller can pass a whole batch.
+        """
+        dropped = 0
+        for claim_id in claim_ids:
+            if self._rows.pop(claim_id, None) is not None:
+                dropped += 1
+        return dropped
+
+    def _evict_over_capacity(self) -> None:
+        if self._max_rows is None:
+            return
+        # Insertion order approximates recency on the verification hot
+        # path: each batch re-requests the pending pool, and rows it still
+        # needs are re-inserted right after an eviction makes room.
+        while len(self._rows) > self._max_rows:
+            self._rows.pop(next(iter(self._rows)))
+
+    def _insert(self, claim_id: str, row: np.ndarray) -> None:
+        self._rows[claim_id] = row
+        self._evict_over_capacity()
 
     @property
     def generation(self) -> int:
@@ -79,23 +128,31 @@ class ClaimFeatureStore:
         if row is None:
             row = np.asarray(self._preprocessor.preprocess(claim).features, dtype=float)
             row.setflags(write=False)
-            self._rows[claim.claim_id] = row
+            self._insert(claim.claim_id, row)
         return row
 
     def matrix(self, claims: Sequence[Claim]) -> np.ndarray:
         """Feature matrix with one row per claim, in claim order.
 
         Missing claims are featurized together in one call; cached claims
-        are served from the store.
+        are served from the store.  The returned matrix is assembled from
+        local references, so a capacity bound smaller than the request is
+        still served correctly (the overflow just is not cached).
         """
         self._sync_generation()
-        missing = [claim for claim in claims if claim.claim_id not in self._rows]
+        by_id = {
+            claim.claim_id: self._rows[claim.claim_id]
+            for claim in claims
+            if claim.claim_id in self._rows
+        }
+        missing = [claim for claim in claims if claim.claim_id not in by_id]
         if missing:
             computed = self._preprocessor.feature_matrix(missing)
             for index, claim in enumerate(missing):
                 row = np.ascontiguousarray(computed[index], dtype=float)
                 row.setflags(write=False)
-                self._rows[claim.claim_id] = row
+                by_id[claim.claim_id] = row
+                self._insert(claim.claim_id, row)
         if not claims:
             return np.zeros((0, self._preprocessor.featurizer.dimension))
-        return np.vstack([self._rows[claim.claim_id] for claim in claims])
+        return np.vstack([by_id[claim.claim_id] for claim in claims])

@@ -15,10 +15,14 @@ across every batch.  This package makes that loop operable:
   services across a ``concurrent.futures`` pool (threads, processes, or
   inline), merges per-shard reports into a global one and reconciles the
   per-shard translator updates.
+* :mod:`repro.runtime.pool` — :class:`WorkerPool`, the reusable
+  serial/thread/process executor facade shared by the sharded runner and
+  the multi-tenant :mod:`repro.serving` layer.
 * :mod:`repro.runtime.cli` — ``python -m repro.runtime`` with ``run`` /
   ``resume`` / ``status`` verbs over synthetic workloads.
 """
 
+from repro.runtime.pool import EXECUTOR_KINDS, WorkerPool
 from repro.runtime.sharding import (
     ShardedRunResult,
     ShardedVerificationRunner,
@@ -28,16 +32,20 @@ from repro.runtime.sharding import (
 from repro.runtime.snapshot import (
     SNAPSHOT_SCHEMA_VERSION,
     ServiceSnapshot,
+    SnapshotStore,
     scrutinizer_config_from_dict,
     scrutinizer_config_to_dict,
 )
 
 __all__ = [
+    "EXECUTOR_KINDS",
     "SNAPSHOT_SCHEMA_VERSION",
     "ServiceSnapshot",
     "ShardResult",
     "ShardedRunResult",
     "ShardedVerificationRunner",
+    "SnapshotStore",
+    "WorkerPool",
     "scrutinizer_config_from_dict",
     "scrutinizer_config_to_dict",
     "shard_claims",

@@ -1,0 +1,106 @@
+"""Reusable worker pools shared by the sharded runner and the server.
+
+Every scale-out component of the runtime fans work out over the same three
+executor kinds — ``"serial"`` (inline, deterministic debugging),
+``"thread"`` (parallel numpy sections, zero pickling) and ``"process"``
+(true parallelism for picklable tasks).  :class:`WorkerPool` wraps that
+choice once so the :class:`~repro.runtime.sharding.ShardedVerificationRunner`
+and the :class:`~repro.serving.server.VerificationServer` can share a
+single pool instead of each spinning up their own executors per call:
+the server hands its pool to embedded runners, and repeated scheduling
+rounds reuse the same threads instead of paying pool startup per round.
+
+The pool is lazy (no executor exists until the first :meth:`map`) and
+reusable (``close()`` only happens explicitly or via the context manager),
+which is what a long-lived serving process needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EXECUTOR_KINDS", "WorkerPool"]
+
+#: The executor kinds every runtime component understands.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+_TaskT = TypeVar("_TaskT")
+_ResultT = TypeVar("_ResultT")
+
+
+class WorkerPool:
+    """A lazily created, reusable serial/thread/process executor facade.
+
+    Parameters
+    ----------
+    kind:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    max_workers:
+        Pool width for the threaded/process kinds; ``None`` defers to
+        ``concurrent.futures`` defaults.  Ignored by ``"serial"``.
+    """
+
+    def __init__(self, kind: str = "thread", max_workers: int | None = None) -> None:
+        if kind not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {kind!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        self.kind = kind
+        self.max_workers = max_workers
+        self._executor: Executor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def is_open(self) -> bool:
+        return not self._closed
+
+    def _ensure_executor(self) -> Executor:
+        if self._closed:
+            raise ConfigurationError("the worker pool has been closed")
+        if self._executor is None:
+            pool_cls = ProcessPoolExecutor if self.kind == "process" else ThreadPoolExecutor
+            self._executor = pool_cls(max_workers=self.max_workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the underlying executor down (idempotent)."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        fn: Callable[[_TaskT], _ResultT],
+        tasks: Sequence[_TaskT] | Iterable[_TaskT],
+    ) -> list[_ResultT]:
+        """Apply ``fn`` to every task, preserving input order.
+
+        A single task (or the serial kind) runs inline — no executor is
+        ever created for work that cannot overlap, so one-shard runs and
+        single-tenant rounds stay on the deterministic fast path.
+        """
+        items = list(tasks)
+        if self._closed:
+            raise ConfigurationError("the worker pool has been closed")
+        if self.kind == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_executor().map(fn, items))

@@ -35,7 +35,6 @@ from __future__ import annotations
 import time
 import zlib
 from collections.abc import Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -45,6 +44,7 @@ from repro.claims.model import ClaimProperty
 from repro.config import ScrutinizerConfig
 from repro.core.report import VerificationReport
 from repro.errors import ConfigurationError, SerializationError
+from repro.runtime.pool import EXECUTOR_KINDS, WorkerPool
 from repro.runtime.snapshot import ServiceSnapshot
 from repro.translation.classifiers import TrainingExample
 from repro.translation.translator import ClaimTranslator
@@ -56,7 +56,7 @@ __all__ = [
     "shard_claims",
 ]
 
-_EXECUTORS = ("serial", "thread", "process")
+_EXECUTORS = EXECUTOR_KINDS
 
 
 def shard_key(claim_id: str) -> int:
@@ -225,6 +225,11 @@ class ShardedVerificationRunner:
         after each batch; :meth:`resume` restarts from those files.
     checkpoint_every:
         Checkpoint frequency in batches (default: every batch).
+    pool:
+        An existing :class:`~repro.runtime.pool.WorkerPool` to run shards
+        on, shared with other runners or a serving layer.  When given, the
+        runner does not own the pool (never closes it) and ``executor`` /
+        ``max_workers`` are taken from the pool itself.
     """
 
     def __init__(
@@ -239,6 +244,7 @@ class ShardedVerificationRunner:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 1,
         system_name: str | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
         if shard_count < 1:
             raise ConfigurationError("shard_count must be at least 1")
@@ -253,8 +259,17 @@ class ShardedVerificationRunner:
         self.corpus = corpus
         self.config = config if config is not None else ScrutinizerConfig()
         self.shard_count = shard_count
-        self.executor = executor
-        self.max_workers = max_workers if max_workers is not None else shard_count
+        self.executor = executor if pool is None else pool.kind
+        if pool is not None:
+            # The shared pool's width governs actual concurrency; reflect
+            # it (falling back to the shard count when the pool defers to
+            # executor defaults) so the attribute matches behaviour.
+            self.max_workers = (
+                pool.max_workers if pool.max_workers is not None else shard_count
+            )
+        else:
+            self.max_workers = max_workers if max_workers is not None else shard_count
+        self._shared_pool = pool
         self.reconcile = reconcile
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
         self.checkpoint_every = checkpoint_every
@@ -390,14 +405,13 @@ class ShardedVerificationRunner:
         started = time.perf_counter()
         if not tasks:
             outcomes: list[_ShardOutcome] = []
-        elif self.executor == "serial" or len(tasks) == 1:
-            outcomes = [_execute_shard(task) for task in tasks]
+        elif self._shared_pool is not None:
+            outcomes = self._shared_pool.map(_execute_shard, tasks)
         else:
-            pool_cls = (
-                ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
-            )
-            with pool_cls(max_workers=min(self.max_workers, len(tasks))) as pool:
-                outcomes = list(pool.map(_execute_shard, tasks))
+            with WorkerPool(
+                self.executor, max_workers=min(self.max_workers, len(tasks))
+            ) as pool:
+                outcomes = pool.map(_execute_shard, tasks)
         executed = [
             ShardResult(
                 shard_index=outcome.shard_index,

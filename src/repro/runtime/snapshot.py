@@ -28,8 +28,9 @@ checked on load; loading a payload from a different schema raises
 from __future__ import annotations
 
 import json
+import zlib
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -49,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle at runtime)
 __all__ = [
     "SNAPSHOT_SCHEMA_VERSION",
     "ServiceSnapshot",
+    "SnapshotStore",
     "scrutinizer_config_from_dict",
     "scrutinizer_config_to_dict",
 ]
@@ -303,3 +305,89 @@ class ServiceSnapshot:
                 f"cannot read snapshot from {source}: {error}"
             ) from error
         return cls.from_json(text)
+
+
+# ---------------------------------------------------------------------- #
+# keyed snapshot storage
+# ---------------------------------------------------------------------- #
+class SnapshotStore:
+    """A directory of snapshots keyed by name (one JSON file per key).
+
+    The serving layer passivates idle tenant sessions through a store —
+    ``save`` on eviction, ``load`` on the next request — and the runtime
+    CLI inspects stores read-only.  Keys are mangled into safe file names
+    (anything outside ``[A-Za-z0-9._-]`` becomes ``_`` plus a stable CRC-32
+    suffix), so arbitrary tenant ids never escape the directory.
+    """
+
+    _SUFFIX = ".json"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def _file_name(self, key: str) -> str:
+        if not key:
+            raise SerializationError("snapshot keys must be non-empty")
+        safe = "".join(
+            char if char.isalnum() or char in "._-" else "_" for char in key
+        )
+        if safe != key:
+            safe = f"{safe}-{zlib.crc32(key.encode('utf-8')):08x}"
+        return safe + self._SUFFIX
+
+    def path(self, key: str) -> Path:
+        """Where the snapshot for ``key`` lives (whether or not it exists)."""
+        return self.directory / self._file_name(key)
+
+    def exists(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def items(self) -> tuple[tuple[str, ServiceSnapshot], ...]:
+        """Every stored ``(key, snapshot)`` pair, sorted by file name.
+
+        Each snapshot is loaded exactly once — callers that need both the
+        keys and the contents (restart adoption, status surfaces) should
+        use this instead of :meth:`keys` followed by per-key loads.  Keys
+        come from each file's recorded metadata, falling back to the file
+        stem for snapshots that predate key stamping; unreadable files are
+        skipped.
+        """
+        if not self.directory.is_dir():
+            return ()
+        pairs = []
+        for entry in sorted(self.directory.glob(f"*{self._SUFFIX}")):
+            try:
+                snapshot = ServiceSnapshot.load(entry)
+            except SerializationError:
+                continue
+            pairs.append((str(snapshot.metadata.get("store_key", entry.stem)), snapshot))
+        return tuple(pairs)
+
+    def keys(self) -> tuple[str, ...]:
+        """Stored keys (see :meth:`items` for key recovery rules)."""
+        return tuple(key for key, _ in self.items())
+
+    def save(self, key: str, snapshot: ServiceSnapshot) -> Path:
+        """Persist ``snapshot`` under ``key`` (atomic write-then-rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        stamped = replace(
+            snapshot, metadata={**snapshot.metadata, "store_key": key}
+        )
+        return stamped.save(self.path(key))
+
+    def load(self, key: str) -> ServiceSnapshot:
+        """Load the snapshot stored under ``key``.
+
+        Raises :class:`~repro.errors.SerializationError` when the key has
+        never been saved (or its file is unreadable), matching
+        :meth:`ServiceSnapshot.load`.
+        """
+        return ServiceSnapshot.load(self.path(key))
+
+    def delete(self, key: str) -> bool:
+        """Remove the snapshot for ``key``; ``True`` when one existed."""
+        target = self.path(key)
+        if not target.exists():
+            return False
+        target.unlink()
+        return True

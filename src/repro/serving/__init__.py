@@ -1,0 +1,60 @@
+"""Multi-tenant serving over the verification runtime.
+
+One :class:`~repro.serving.server.VerificationServer` process runs many
+independent :class:`~repro.api.service.VerificationService` sessions — one
+per tenant — against a shared corpus and a shared
+:class:`~repro.runtime.pool.WorkerPool`:
+
+* :mod:`repro.serving.server` — the server: a bounded session registry
+  keyed by tenant id, an :class:`~repro.serving.server.AdmissionPolicy`
+  (registry bound, per-tenant pending-claim quotas, bounded submission
+  queue with backpressure), a fair round-based scheduler multiplexing
+  ``run_batch`` calls across sessions, and LRU passivation of idle
+  sessions to :class:`~repro.runtime.snapshot.ServiceSnapshot` checkpoints
+  (rehydrated transparently on the tenant's next request).
+* :mod:`repro.serving.workloads` — scenario-driven mixed tenant traffic:
+  bursty submitters, steady streamers and resume-after-crash tenants,
+  generated deterministically and drivable against any server.
+* :mod:`repro.serving.cli` — ``python -m repro.serving`` with ``run`` /
+  ``status`` verbs over the synthetic workload.
+
+``benchmarks/test_bench_serving_throughput.py`` records sustained
+claims/sec and p95 batch latency at 1/4/16 concurrent tenants in
+``BENCH_serving_throughput.json``.
+"""
+
+from repro.serving.server import (
+    AdmissionPolicy,
+    ServerStats,
+    ServerStatus,
+    TenantBatchOutcome,
+    TenantStatus,
+    VerificationServer,
+)
+from repro.serving.workloads import (
+    SCENARIO_KINDS,
+    CrashEvent,
+    ServingWorkload,
+    SubmissionEvent,
+    TenantScenario,
+    WorkloadRunResult,
+    build_workload,
+    drive_workload,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "CrashEvent",
+    "SCENARIO_KINDS",
+    "ServerStats",
+    "ServerStatus",
+    "ServingWorkload",
+    "SubmissionEvent",
+    "TenantBatchOutcome",
+    "TenantScenario",
+    "TenantStatus",
+    "VerificationServer",
+    "WorkloadRunResult",
+    "build_workload",
+    "drive_workload",
+]

@@ -303,6 +303,59 @@ class TestStreamingService:
         assert report.claim_count == 6
 
 
+class TestLifecycleEvents:
+    def _service(self, corpus, batch_size: int = 6):
+        return (
+            ScrutinizerBuilder(corpus)
+            .with_config(small_config(batch_size))
+            .with_checkers([ScriptedChecker(corpus)])
+            .build_service()
+        )
+
+    def test_events_fire_in_order_over_a_run(self, small_corpus):
+        events: list[str] = []
+        service = self._service(small_corpus, batch_size=5)
+        service.on_lifecycle_event(lambda event, _service: events.append(event))
+        service.submit(list(small_corpus.claim_ids)[:10])
+        assert events == ["submitted"]
+        service.run_batch()
+        assert events == ["submitted", "batch"]
+        service.run_batch()
+        assert events == ["submitted", "batch", "batch", "completed"]
+        service.snapshot()
+        assert events[-1] == "snapshot"
+        service.reset()
+        assert events[-1] == "reset"
+
+    def test_restore_emits_restored(self, small_corpus):
+        service = self._service(small_corpus, batch_size=5)
+        service.submit(list(small_corpus.claim_ids)[:10])
+        service.run_batch()
+        snapshot = service.snapshot()
+        from repro.api.builder import ScrutinizerBuilder as Builder
+
+        events: list[str] = []
+        builder = Builder.from_snapshot(snapshot, small_corpus)
+        restored = builder.with_checkers(
+            [ScriptedChecker(small_corpus)]
+        ).build_service()
+        # The callback is registered post-restore; a fresh run batch still
+        # reports through it, proving callbacks and state are independent.
+        restored.on_lifecycle_event(lambda event, _service: events.append(event))
+        restored.run_batch()
+        assert events == ["batch", "completed"]
+
+    def test_callbacks_survive_reset_and_empty_submit_is_silent(self, small_corpus):
+        events: list[str] = []
+        service = self._service(small_corpus)
+        service.on_lifecycle_event(lambda event, _service: events.append(event))
+        service.submit([])
+        assert events == []
+        service.reset()
+        service.submit(list(small_corpus.claim_ids)[:6])
+        assert events == ["reset", "submitted"]
+
+
 class TestScrutinizerFacade:
     def test_verify_runs_through_the_service(self, small_corpus):
         system = (

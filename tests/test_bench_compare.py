@@ -1,0 +1,150 @@
+"""The benchmark regression gate: exit-code contract and input handling.
+
+``scripts/bench_compare.py`` is CI tooling, and CI tooling that is wrong
+fails silently green — so the gate's contract is pinned here: exit 0
+within the allowed drop, exit 1 on a regression, exit 2 on unusable
+inputs (missing files, missing keys, non-numeric or non-positive
+baselines), never an uncaught traceback.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_compare", bench_compare)
+_spec.loader.exec_module(bench_compare)
+
+
+def _write(tmp_path: Path, name: str, payload) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _run(baseline: Path, fresh: Path, key: str, max_drop: float = 0.25) -> int:
+    return bench_compare.main(
+        [str(baseline), str(fresh), "--key", key, "--max-drop", str(max_drop)]
+    )
+
+
+# ---------------------------------------------------------------------- #
+# exit-code contract
+# ---------------------------------------------------------------------- #
+def test_within_drop_exits_zero(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", {"speedup": 4.0})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 3.5})
+    assert _run(baseline, fresh, "speedup") == 0
+    assert "[OK]" in capsys.readouterr().out
+
+
+def test_improvement_exits_zero(tmp_path):
+    baseline = _write(tmp_path, "base.json", {"speedup": 4.0})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 8.0})
+    assert _run(baseline, fresh, "speedup") == 0
+
+
+def test_regression_beyond_drop_exits_one(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", {"speedup": 4.0})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 2.0})
+    assert _run(baseline, fresh, "speedup") == 1
+    assert "[REGRESSION]" in capsys.readouterr().out
+
+
+def test_exactly_at_floor_exits_zero(tmp_path):
+    baseline = _write(tmp_path, "base.json", {"speedup": 4.0})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 3.0})
+    assert _run(baseline, fresh, "speedup") == 0
+
+
+def test_dotted_key_path(tmp_path):
+    baseline = _write(tmp_path, "base.json", {"tenants": {"16": {"cps": 300.0}}})
+    fresh = _write(tmp_path, "fresh.json", {"tenants": {"16": {"cps": 290.0}}})
+    assert _run(baseline, fresh, "tenants.16.cps") == 0
+
+
+# ---------------------------------------------------------------------- #
+# unusable inputs (exit 2, clear messages, never a traceback)
+# ---------------------------------------------------------------------- #
+def test_missing_key_in_baseline_exits_two_with_message(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", {"other_metric": 1.0})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 2.0})
+    assert _run(baseline, fresh, "speedup") == 2
+    err = capsys.readouterr().err
+    assert "has no key 'speedup'" in err
+    assert "other_metric" in err  # the message names what IS available
+
+
+def test_missing_key_in_fresh_exits_two(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", {"speedup": 2.0})
+    fresh = _write(tmp_path, "fresh.json", {})
+    assert _run(baseline, fresh, "speedup") == 2
+    assert "has no key" in capsys.readouterr().err
+
+
+def test_dotted_path_through_non_object_exits_two(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", {"tenants": 3.0})
+    fresh = _write(tmp_path, "fresh.json", {"tenants": {"16": 3.0}})
+    assert _run(baseline, fresh, "tenants.16") == 2
+    assert "is not an object" in capsys.readouterr().err
+
+
+def test_zero_baseline_exits_two(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", {"speedup": 0.0})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 1.0})
+    assert _run(baseline, fresh, "speedup") == 2
+    assert "must be positive" in capsys.readouterr().err
+
+
+def test_negative_baseline_exits_two(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", {"speedup": -2.0})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 3.0})
+    assert _run(baseline, fresh, "speedup") == 2
+    assert "must be positive" in capsys.readouterr().err
+
+
+def test_non_numeric_value_exits_two(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", {"speedup": "fast"})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 2.0})
+    assert _run(baseline, fresh, "speedup") == 2
+    assert "is not numeric" in capsys.readouterr().err
+
+
+def test_boolean_value_is_not_numeric(tmp_path):
+    baseline = _write(tmp_path, "base.json", {"speedup": True})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 2.0})
+    assert _run(baseline, fresh, "speedup") == 2
+
+
+def test_missing_file_exits_two(tmp_path, capsys):
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 2.0})
+    assert _run(tmp_path / "nope.json", fresh, "speedup") == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_invalid_json_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 2.0})
+    assert _run(bad, fresh, "speedup") == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- #
+# argument validation
+# ---------------------------------------------------------------------- #
+def test_max_drop_must_be_a_fraction(tmp_path):
+    baseline = _write(tmp_path, "base.json", {"speedup": 4.0})
+    fresh = _write(tmp_path, "fresh.json", {"speedup": 4.0})
+    with pytest.raises(SystemExit):
+        _run(baseline, fresh, "speedup", max_drop=1.0)
+    with pytest.raises(SystemExit):
+        _run(baseline, fresh, "speedup", max_drop=-0.1)
+    assert _run(baseline, fresh, "speedup", max_drop=0.0) == 0

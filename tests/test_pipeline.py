@@ -135,6 +135,44 @@ class TestClaimFeatureStore:
         matrix = store.matrix([])
         assert matrix.shape == (0, preprocessor.featurizer.dimension)
 
+    def test_capacity_bound_evicts_oldest_rows(self):
+        _, claims, preprocessor = self._store()
+        store = ClaimFeatureStore(preprocessor, max_rows=3)
+        for claim in claims[:5]:
+            store.vector(claim)
+        assert store.cached_count == 3
+        # The oldest rows left; the newest are still cached.
+        np.testing.assert_array_equal(
+            store.vector(claims[4]), preprocessor.preprocess(claims[4]).features
+        )
+
+    def test_matrix_larger_than_capacity_is_still_correct(self):
+        _, claims, preprocessor = self._store()
+        store = ClaimFeatureStore(preprocessor, max_rows=2)
+        matrix = store.matrix(claims)
+        assert matrix.shape[0] == len(claims)
+        assert store.cached_count == 2
+        unbounded = ClaimFeatureStore(preprocessor).matrix(claims)
+        np.testing.assert_array_equal(matrix, unbounded)
+
+    def test_capacity_can_be_tightened_later(self):
+        store, claims, _ = self._store()
+        store.matrix(claims)
+        assert store.cached_count == len(claims)
+        store.max_rows = 4
+        assert store.cached_count == 4
+        with pytest.raises(ValueError):
+            store.max_rows = 0
+        with pytest.raises(ValueError):
+            ClaimFeatureStore(store.preprocessor, max_rows=0)
+
+    def test_forget_drops_only_named_rows(self):
+        store, claims, _ = self._store()
+        store.matrix(claims)
+        dropped = store.forget([claims[0].claim_id, claims[1].claim_id, "unknown"])
+        assert dropped == 2
+        assert store.cached_count == len(claims) - 2
+
 
 class TestStaleCacheRegression:
     def test_suite_serves_fresh_vectors_after_featurizer_refit(self):
