@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-runtime bench-serving coverage lint check
+.PHONY: test bench bench-quick bench-runtime bench-serving bench-planner coverage lint check
 
 # Tier-1 verification: the full unit + benchmark suite, fail-fast.
 test:
@@ -27,6 +27,12 @@ bench-runtime:
 # BENCH_serving_throughput.json at the repository root (CI uploads it).
 bench-serving:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_serving_throughput.py -q
+
+# Batch-planner scaling benchmark (2,000-claim pending pool) in its
+# reduced configuration; writes BENCH_planner_scaling.json at the
+# repository root (CI uploads it).
+bench-planner:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_planner_scaling.py -q
 
 # Coverage gate over the unit suite (pytest-cov): fails below COV_FLOOR
 # percent line coverage of src/repro and writes an HTML report to

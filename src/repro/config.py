@@ -15,6 +15,7 @@ into the person-weeks reported in Table 2 of the paper.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -81,10 +82,14 @@ class BatchingConfig:
     min_batch_size: int = 1
     #: Upper bound on the batch size, ``bu``; the paper uses batches of 100.
     max_batch_size: int = 100
-    #: Total cost threshold ``tm`` in seconds (0 disables the constraint and
-    #: pins the batch size to ``max_batch_size`` instead, as in the paper's
-    #: simulation which retrains after every 100 claims).
-    cost_threshold: float = 0.0
+    #: Total cost threshold ``tm`` in seconds.  ``None`` disables the
+    #: constraint and pins the batch size to ``max_batch_size`` instead, as
+    #: in the paper's simulation which retrains after every 100 claims.
+    #: Passing ``0.0`` is deprecated: it historically meant "disabled" and
+    #: is still shimmed to ``None`` (with a :class:`DeprecationWarning`),
+    #: whereas the solver layer now treats an explicit ``0.0`` as a genuine
+    #: zero budget (see :func:`repro.planning.ilp.solve_claim_selection_ilp`).
+    cost_threshold: float | None = None
     #: Weight ``wu`` of training utility in the combined objective.  Training
     #: utilities (summed prediction entropies) are an order of magnitude
     #: smaller than verification costs in seconds, so a weight above one makes
@@ -100,8 +105,19 @@ class BatchingConfig:
             raise ConfigurationError(
                 "max_batch_size must be at least max(1, min_batch_size)"
             )
-        if self.cost_threshold < 0:
-            raise ConfigurationError("cost_threshold must be non-negative")
+        if self.cost_threshold is not None:
+            if self.cost_threshold < 0:
+                raise ConfigurationError("cost_threshold must be non-negative (or None)")
+            if self.cost_threshold == 0.0:
+                warnings.warn(
+                    "BatchingConfig(cost_threshold=0.0) is deprecated: pass None to "
+                    "disable the cost threshold (0.0 keeps the legacy 'disabled' "
+                    "meaning here, but the solver layer now reads 0.0 as a genuine "
+                    "zero budget)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                object.__setattr__(self, "cost_threshold", None)
         if self.utility_weight < 0:
             raise ConfigurationError("utility_weight must be non-negative")
         if self.section_read_cost < 0:

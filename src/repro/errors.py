@@ -94,7 +94,18 @@ class PlanningError(ReproError):
 
 
 class InfeasibleSelectionError(PlanningError):
-    """No claim batch satisfies the selection constraints (Definition 9)."""
+    """No claim batch satisfies the selection constraints (Definition 9).
+
+    ``constraint`` names the violated constraint when known (``"pool"``,
+    ``"min_batch_size"``, ``"batch_bounds"`` or ``"cost_threshold"``), so
+    callers of :func:`~repro.planning.batching.select_claim_batch` can see
+    *which* bound made the instance infeasible instead of guessing from
+    the message text.
+    """
+
+    def __init__(self, message: str, *, constraint: str | None = None) -> None:
+        super().__init__(message)
+        self.constraint = constraint
 
 
 class CrowdError(ReproError):

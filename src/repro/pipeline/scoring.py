@@ -19,7 +19,7 @@ from repro.config import CostModelConfig
 from repro.pipeline.batch import ClaimBatchPredictions
 from repro.planning.costmodel import VerificationCostModel
 
-__all__ = ["estimate_costs", "estimate_utilities"]
+__all__ = ["estimate_costs", "estimate_scores", "estimate_utilities"]
 
 
 def estimate_utilities(batch: ClaimBatchPredictions) -> np.ndarray:
@@ -30,6 +30,32 @@ def estimate_utilities(batch: ClaimBatchPredictions) -> np.ndarray:
     exactly like the scalar sum over a partial prediction dict.
     """
     return batch.entropy_matrix().sum(axis=1)
+
+
+def estimate_scores(
+    batch: ClaimBatchPredictions,
+    option_count: int,
+    screen_count: int | None = None,
+    cost_model: VerificationCostModel | None = None,
+    query_option_count: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(v(c), u(c))`` for every claim of the batch in one pass.
+
+    Cost and utility scoring both consume the batch's cached entropy
+    matrix, so computing them together is what the planning hot path (and
+    the :class:`~repro.planning.engine.PlannerEngine` score cache) wants:
+    one call per pool of claims that need (re-)scoring.
+    """
+    return (
+        estimate_costs(
+            batch,
+            option_count,
+            screen_count=screen_count,
+            cost_model=cost_model,
+            query_option_count=query_option_count,
+        ),
+        estimate_utilities(batch),
+    )
 
 
 def estimate_costs(

@@ -13,6 +13,12 @@ Two optimisation problems live here:
 
 from repro.planning.batching import BatchCandidate, ClaimSelection, select_claim_batch
 from repro.planning.costmodel import VerificationCostModel
+from repro.planning.engine import (
+    EngineStats,
+    PlannerEngine,
+    ScoreCache,
+    dominance_prune,
+)
 from repro.planning.ilp import IlpSolution, solve_claim_selection_ilp
 from repro.planning.options import AnswerOption, expected_option_cost, order_options
 from repro.planning.planner import QuestionPlanner
@@ -24,14 +30,18 @@ __all__ = [
     "AnswerOption",
     "BatchCandidate",
     "ClaimSelection",
+    "EngineStats",
     "IlpSolution",
+    "PlannerEngine",
     "PruningPowerCalculator",
     "QueryOption",
     "QuestionPlan",
     "QuestionPlanner",
+    "ScoreCache",
     "Screen",
     "VerificationCostModel",
     "claim_training_utility",
+    "dominance_prune",
     "expected_claim_cost",
     "expected_option_cost",
     "order_options",

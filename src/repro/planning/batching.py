@@ -48,6 +48,28 @@ class ClaimSelection:
         return len(self.claim_ids)
 
 
+def check_batch_feasibility(candidate_count: int, config: BatchingConfig) -> None:
+    """Shared feasibility preamble of both batch planners.
+
+    The pool must be non-empty, and under a genuine cost threshold the
+    configured minimum batch must be fillable — previously the greedy
+    fallback silently returned a short batch there.  In the pinned regime
+    (no cost threshold) ``min_batch_size`` is replaced by the pin, so a
+    final partial batch smaller than the configured minimum stays legal.
+    Both :func:`select_claim_batch` and
+    :meth:`repro.planning.engine.PlannerEngine.plan` call this, so the
+    infeasibility contract lives in exactly one place.
+    """
+    if candidate_count == 0:
+        raise InfeasibleSelectionError("no unverified claims remain", constraint="pool")
+    if config.cost_threshold is not None and config.min_batch_size > candidate_count:
+        raise InfeasibleSelectionError(
+            f"minimum batch size {config.min_batch_size} exceeds the pending "
+            f"pool ({candidate_count} claims)",
+            constraint="min_batch_size",
+        )
+
+
 def batch_cost(
     candidates: Sequence[BatchCandidate],
     section_read_costs: dict[str, float],
@@ -71,12 +93,11 @@ def select_claim_batch(
     sections not listed default to the config's ``section_read_cost``.
     """
     config = config if config is not None else BatchingConfig()
-    if not candidates:
-        raise InfeasibleSelectionError("no unverified claims remain")
+    check_batch_feasibility(len(candidates), config)
 
-    min_batch_size = min(config.min_batch_size, len(candidates))
+    min_batch_size = config.min_batch_size
     max_batch_size = config.max_batch_size
-    if config.cost_threshold <= 0:
+    if config.cost_threshold is None:
         # Without a cost threshold the combined objective degenerates into
         # "select as few claims as possible"; the paper instead works with
         # fixed-size batches (100 claims per retraining round), so we pin the
@@ -101,8 +122,10 @@ def select_claim_batch(
         use_milp=use_milp,
     )
     selected = [candidates[index] for index in solution.selected_indices]
-    if not selected:
-        # Degenerate objective (e.g. zero utilities): fall back to document order.
+    if not selected and config.cost_threshold is None:
+        # Degenerate objective (e.g. zero utilities): fall back to document
+        # order.  Under a genuine cost threshold an empty selection stands —
+        # filling the batch anyway could blow the budget.
         selected = list(candidates[: config.max_batch_size])
     sections_read = tuple(sorted({candidate.section_id for candidate in selected}))
     return ClaimSelection(

@@ -9,10 +9,18 @@ combined form ``t(B) - wu * sum u(c)`` when a utility weight is given.
 The paper uses Gurobi; we encode the identical program for
 ``scipy.optimize.milp`` (HiGHS) and fall back to a greedy knapsack-style
 heuristic when the MILP solver is unavailable or fails.
+
+``cost_threshold`` semantics: ``None`` (the default) disables the cost
+constraint entirely.  Any float — including ``0.0`` — is a genuine budget:
+a zero budget with nonzero-cost claims and a positive minimum batch size is
+infeasible and raises :class:`~repro.errors.InfeasibleSelectionError`.
+Because ``0.0`` historically meant "no cap", passing it explicitly emits a
+:class:`DeprecationWarning` pointing callers at ``None``.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -43,7 +51,7 @@ def solve_claim_selection_ilp(
     section_read_costs: Sequence[float],
     min_batch_size: int,
     max_batch_size: int,
-    cost_threshold: float = 0.0,
+    cost_threshold: float | None = None,
     utility_weight: float | None = None,
     use_milp: bool = True,
 ) -> IlpSolution:
@@ -54,21 +62,33 @@ def solve_claim_selection_ilp(
     to a section index, ``section_read_costs`` are ``r(s_j)``.  When
     ``utility_weight`` is ``None`` the objective is pure utility
     maximisation subject to the cost threshold; otherwise the combined
-    objective ``t(B) - wu * sum u(c)`` is minimised.
+    objective ``t(B) - wu * sum u(c)`` is minimised.  ``cost_threshold=None``
+    disables the cost constraint; ``0.0`` is a genuine zero budget (and
+    deprecated as a way of saying "no cap").
     """
     claim_count = len(utilities)
     if claim_count != len(verification_costs) or claim_count != len(claim_sections):
         raise ValueError("utilities, costs and sections must be aligned")
     if claim_count == 0:
-        raise InfeasibleSelectionError("no unverified claims to select from")
+        raise InfeasibleSelectionError(
+            "no unverified claims to select from", constraint="pool"
+        )
     section_count = len(section_read_costs)
     if any(section < 0 or section >= section_count for section in claim_sections):
         raise ValueError("claim_sections references an unknown section index")
+    cost_threshold = _check_cost_threshold(cost_threshold)
     min_batch_size = max(0, min_batch_size)
+    if min_batch_size > claim_count:
+        raise InfeasibleSelectionError(
+            f"minimum batch size {min_batch_size} exceeds the pending pool "
+            f"({claim_count} claims)",
+            constraint="min_batch_size",
+        )
     max_batch_size = min(max_batch_size, claim_count)
     if min_batch_size > max_batch_size:
         raise InfeasibleSelectionError(
-            f"batch bounds are infeasible: [{min_batch_size}, {max_batch_size}]"
+            f"batch bounds are infeasible: [{min_batch_size}, {max_batch_size}]",
+            constraint="batch_bounds",
         )
     if use_milp and milp is not None:
         solution = _solve_with_milp(
@@ -95,6 +115,22 @@ def solve_claim_selection_ilp(
     )
 
 
+def _check_cost_threshold(cost_threshold: float | None) -> float | None:
+    """Validate the threshold and warn about the deprecated ``0.0`` spelling."""
+    if cost_threshold is None:
+        return None
+    if cost_threshold < 0:
+        raise ValueError("cost_threshold must be non-negative (or None)")
+    if cost_threshold == 0.0:
+        warnings.warn(
+            "cost_threshold=0.0 now means a genuine zero budget; pass None to "
+            "disable the cost constraint",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return float(cost_threshold)
+
+
 # --------------------------------------------------------------------------- #
 # MILP encoding
 # --------------------------------------------------------------------------- #
@@ -105,7 +141,7 @@ def _solve_with_milp(
     section_read_costs: Sequence[float],
     min_batch_size: int,
     max_batch_size: int,
-    cost_threshold: float,
+    cost_threshold: float | None,
     utility_weight: float | None,
 ) -> IlpSolution | None:
     claim_count = len(utilities)
@@ -145,7 +181,7 @@ def _solve_with_milp(
         upper_bounds.append(0.0)
 
     # Cost threshold: sum cs_i v_i + sum sr_j r_j <= tm.
-    if cost_threshold and cost_threshold > 0:
+    if cost_threshold is not None:
         cost_row = np.zeros(variable_count)
         cost_row[:claim_count] = np.asarray(verification_costs, dtype=float)
         cost_row[claim_count:] = np.asarray(section_read_costs, dtype=float)
@@ -185,10 +221,18 @@ def _solve_greedy(
     section_read_costs: Sequence[float],
     min_batch_size: int,
     max_batch_size: int,
-    cost_threshold: float,
+    cost_threshold: float | None,
     utility_weight: float | None,
 ) -> IlpSolution:
-    """Greedy knapsack-style heuristic used when the MILP solver is unavailable."""
+    """Greedy knapsack-style heuristic used when the MILP solver is unavailable.
+
+    Claims are taken best-score first; ties break by lowest claim index so
+    equal-score claims select in the same order on every platform (matching
+    the batched k-NN convention).  Candidates that would exceed the cost
+    threshold are skipped — not stopped at — so a cheaper claim further down
+    the ranking can still fill the batch; if the budget cannot accommodate
+    ``min_batch_size`` claims the instance is infeasible and raises.
+    """
     claim_count = len(utilities)
     selected: list[int] = []
     opened_sections: set[int] = set()
@@ -208,28 +252,59 @@ def _solve_greedy(
 
     remaining = list(range(claim_count))
     while remaining and len(selected) < max_batch_size:
-        remaining.sort(key=score, reverse=True)
-        candidate = remaining[0]
-        extra = marginal_cost(candidate)
-        over_budget = (
-            cost_threshold
-            and cost_threshold > 0
-            and accumulated_cost + extra > cost_threshold
-        )
-        if over_budget and len(selected) >= min_batch_size:
+        remaining.sort(key=lambda index: (-score(index), index))
+        chosen_position: int | None = None
+        for position, candidate in enumerate(remaining):
+            extra = marginal_cost(candidate)
+            if (
+                cost_threshold is not None
+                and accumulated_cost + extra > cost_threshold
+            ):
+                continue
+            chosen_position = position
             break
-        remaining.pop(0)
+        if chosen_position is None:
+            break
+        candidate = remaining.pop(chosen_position)
+        accumulated_cost += marginal_cost(candidate)
         selected.append(candidate)
-        accumulated_cost += extra
         opened_sections.add(claim_sections[candidate])
     if len(selected) < min_batch_size:
         raise InfeasibleSelectionError(
-            "greedy selection cannot satisfy the minimum batch size"
+            f"greedy selection found only {len(selected)} claims within the "
+            f"cost threshold; the minimum batch size is {min_batch_size}",
+            constraint="cost_threshold",
         )
-    objective = -sum(utilities[index] for index in selected)
+    selected.sort()
+    objective = _selection_objective(
+        selected,
+        utilities,
+        verification_costs,
+        claim_sections,
+        section_read_costs,
+        utility_weight,
+    )
     return IlpSolution(
         selected_indices=tuple(selected),
         objective_value=float(objective),
         solver="greedy",
         optimal=False,
     )
+
+
+def _selection_objective(
+    selected: Sequence[int],
+    utilities: Sequence[float],
+    verification_costs: Sequence[float],
+    claim_sections: Sequence[int],
+    section_read_costs: Sequence[float],
+    utility_weight: float | None,
+) -> float:
+    """The MILP objective value of a concrete selection (minimise form)."""
+    if utility_weight is None:
+        return -sum(utilities[index] for index in selected)
+    sections = {claim_sections[index] for index in selected}
+    return sum(
+        verification_costs[index] - utility_weight * utilities[index]
+        for index in selected
+    ) + sum(section_read_costs[section] for section in sections)

@@ -15,9 +15,10 @@ from repro.claims.model import Claim, ClaimProperty
 from repro.config import ScrutinizerConfig
 from repro.ml.base import Prediction
 from repro.pipeline.batch import ClaimBatchPredictions
-from repro.pipeline.scoring import estimate_costs, estimate_utilities
+from repro.pipeline.scoring import estimate_costs, estimate_scores, estimate_utilities
 from repro.planning.batching import BatchCandidate, ClaimSelection, select_claim_batch
 from repro.planning.costmodel import VerificationCostModel
+from repro.planning.engine import PlannerEngine
 from repro.planning.options import AnswerOption, options_from_prediction, order_options
 from repro.planning.pruning import PruningPowerCalculator
 from repro.planning.screens import QueryOption, QuestionPlan, Screen
@@ -28,9 +29,18 @@ from repro.translation.querygen import QueryGenerationResult
 class QuestionPlanner:
     """Cost-based planner for questions and claim batches."""
 
-    def __init__(self, config: ScrutinizerConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ScrutinizerConfig | None = None,
+        engine: PlannerEngine | None = None,
+    ) -> None:
         self.config = config if config is not None else ScrutinizerConfig()
         self.cost_model = VerificationCostModel(self.config.cost_model)
+        #: When set, batch selection routes through the shared
+        #: :class:`~repro.planning.engine.PlannerEngine` (dominance pruning,
+        #: aggregated encoding, skeleton caching) instead of re-encoding the
+        #: full MILP every round.  Both paths are exact.
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     # single-claim question planning (Section 5.1)
@@ -183,6 +193,19 @@ class QuestionPlanner:
         """Training utility for every claim of a batch at once."""
         return estimate_utilities(batch)
 
+    def estimate_scores_batch(
+        self, batch: ClaimBatchPredictions
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(costs, utilities)`` for every claim of a batch in one pass."""
+        return estimate_scores(
+            batch,
+            option_count=self.config.resolved_option_count(),
+            screen_count=min(
+                self.config.resolved_screen_count(), len(ClaimProperty.ordered())
+            ),
+            cost_model=self.cost_model,
+        )
+
     # ------------------------------------------------------------------ #
     # claim ordering (Section 5.2)
     # ------------------------------------------------------------------ #
@@ -212,6 +235,10 @@ class QuestionPlanner:
                 total_utility=sum(candidate.training_utility for candidate in chosen),
                 sections_read=sections,
                 solver="sequential",
+            )
+        if self.engine is not None:
+            return self.engine.plan(
+                candidates, dict(section_read_costs), config=self.config.batching
             )
         return select_claim_batch(
             candidates=candidates,

@@ -51,6 +51,7 @@ from repro.errors import (
     ServingError,
     UnknownTenantError,
 )
+from repro.planning.engine import PlannerEngine
 from repro.runtime.pool import WorkerPool
 from repro.runtime.snapshot import ServiceSnapshot, SnapshotStore
 
@@ -251,6 +252,12 @@ class VerificationServer:
         Share an existing :class:`~repro.runtime.pool.WorkerPool` (e.g.
         with a :class:`~repro.runtime.sharding.ShardedVerificationRunner`).
         The server then never closes it.
+    planner_engine:
+        Optional :class:`~repro.planning.engine.PlannerEngine` shared by
+        every tenant session the server runs.  The engine's constraint-
+        skeleton cache is shared across tenants; per-claim score caches are
+        keyed by tenant id, so they survive passivation and rehydration and
+        tenants never see each other's scores.
     """
 
     def __init__(
@@ -264,6 +271,7 @@ class VerificationServer:
         snapshot_dir: str | Path | None = None,
         system_name: str = "Serving",
         pool: WorkerPool | None = None,
+        planner_engine: PlannerEngine | None = None,
     ) -> None:
         if pool is None and executor not in _SERVER_EXECUTORS:
             raise ConfigurationError(
@@ -290,6 +298,7 @@ class VerificationServer:
                 ),
             )
         )
+        self._planner_engine = planner_engine
         self._tenants: dict[str, _TenantRecord] = {}
         self._queue: deque[_Submission] = deque()
         self._round = 0
@@ -307,6 +316,11 @@ class VerificationServer:
     @property
     def tenant_ids(self) -> tuple[str, ...]:
         return tuple(self._tenants)
+
+    @property
+    def planner_engine(self) -> PlannerEngine | None:
+        """The engine shared by every tenant session, when one is set."""
+        return self._planner_engine
 
     @property
     def resident_count(self) -> int:
@@ -525,6 +539,11 @@ class VerificationServer:
             )
             self.stats.sessions_started += 1
         self._apply_feature_cap(service)
+        if self._planner_engine is not None:
+            # One engine for every tenant: shared skeleton cache, per-tenant
+            # score caches keyed by tenant id so a passivated tenant's scores
+            # are still warm after rehydration.
+            service.use_planner_engine(self._planner_engine, cache_key=record.tenant_id)
         record.service = service
         record.parked_snapshot = None
         if record.buffered_claims:

@@ -278,6 +278,115 @@ class TestIlp:
         with pytest.raises(ValueError):
             solve_claim_selection_ilp([1.0], [1.0, 2.0], [0], [1.0], 1, 1)
 
+    def test_zero_budget_with_costly_claims_is_infeasible(self):
+        """A genuine zero budget is now expressible — and infeasible here."""
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(InfeasibleSelectionError) as outcome:
+                solve_claim_selection_ilp(
+                    utilities=[1.0, 2.0],
+                    verification_costs=[10.0, 10.0],
+                    claim_sections=[0, 1],
+                    section_read_costs=[5.0, 5.0],
+                    min_batch_size=1,
+                    max_batch_size=2,
+                    cost_threshold=0.0,
+                )
+        assert outcome.value.constraint == "cost_threshold"
+
+    def test_zero_budget_selects_free_claims(self):
+        with pytest.warns(DeprecationWarning):
+            solution = solve_claim_selection_ilp(
+                utilities=[1.0, 2.0],
+                verification_costs=[0.0, 10.0],
+                claim_sections=[0, 1],
+                section_read_costs=[0.0, 5.0],
+                min_batch_size=1,
+                max_batch_size=2,
+                cost_threshold=0.0,
+            )
+        assert solution.selected_indices == (0,)
+
+    def test_none_cost_threshold_disables_the_cap(self):
+        solution = solve_claim_selection_ilp(
+            utilities=[1.0, 2.0, 3.0],
+            verification_costs=[50.0, 50.0, 50.0],
+            claim_sections=[0, 1, 2],
+            section_read_costs=[10.0, 10.0, 10.0],
+            min_batch_size=3,
+            max_batch_size=3,
+            cost_threshold=None,
+        )
+        assert len(solution.selected_indices) == 3
+
+    def test_negative_cost_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            solve_claim_selection_ilp([1.0], [1.0], [0], [1.0], 1, 1, cost_threshold=-1.0)
+
+    def test_min_batch_above_pool_raises_in_both_paths(self):
+        for use_milp in (True, False):
+            with pytest.raises(InfeasibleSelectionError) as outcome:
+                solve_claim_selection_ilp(
+                    utilities=[1.0, 2.0],
+                    verification_costs=[1.0, 1.0],
+                    claim_sections=[0, 0],
+                    section_read_costs=[1.0],
+                    min_batch_size=5,
+                    max_batch_size=8,
+                    use_milp=use_milp,
+                )
+            assert outcome.value.constraint == "min_batch_size"
+
+    def test_greedy_ties_break_by_lowest_index(self):
+        """Equal-score claims select lowest-index-first on every platform."""
+        solution = solve_claim_selection_ilp(
+            utilities=[2.0, 2.0, 2.0, 2.0],
+            verification_costs=[10.0, 10.0, 10.0, 10.0],
+            claim_sections=[0, 0, 0, 0],
+            section_read_costs=[5.0],
+            min_batch_size=1,
+            max_batch_size=2,
+            use_milp=False,
+        )
+        assert solution.selected_indices == (0, 1)
+
+    def test_milp_and_greedy_agree_when_greedy_is_optimal(self):
+        """On a single-section, uniform-cost, pinned-size instance the greedy
+        heuristic is optimal; both solvers must return the same batch and
+        report the same objective value."""
+        kwargs = dict(
+            utilities=[1.0, 5.0, 3.0, 4.0],
+            verification_costs=[10.0, 10.0, 10.0, 10.0],
+            claim_sections=[0, 0, 0, 0],
+            section_read_costs=[5.0],
+            min_batch_size=2,
+            max_batch_size=2,
+            utility_weight=5.0,
+        )
+        milp_solution = solve_claim_selection_ilp(use_milp=True, **kwargs)
+        greedy_solution = solve_claim_selection_ilp(use_milp=False, **kwargs)
+        assert milp_solution.solver == "scipy-milp"
+        assert greedy_solution.solver == "greedy"
+        assert set(milp_solution.selected_indices) == set(greedy_solution.selected_indices)
+        assert greedy_solution.objective_value == pytest.approx(
+            milp_solution.objective_value, abs=1e-9
+        )
+
+    def test_greedy_skips_over_budget_claims_instead_of_stopping(self):
+        """A too-expensive top-scored claim no longer ends the greedy pass:
+        cheaper claims further down the ranking still fill the batch."""
+        solution = solve_claim_selection_ilp(
+            utilities=[9.0, 1.0, 1.0],
+            verification_costs=[100.0, 5.0, 5.0],
+            claim_sections=[0, 0, 0],
+            section_read_costs=[0.0],
+            min_batch_size=0,
+            max_batch_size=3,
+            cost_threshold=20.0,
+            utility_weight=30.0,
+            use_milp=False,
+        )
+        assert solution.selected_indices == (1, 2)
+
 
 class TestBatchSelection:
     def _candidates(self) -> list[BatchCandidate]:
@@ -301,12 +410,48 @@ class TestBatchSelection:
         assert selection.total_cost > 0
 
     def test_empty_candidates_rejected(self):
-        with pytest.raises(InfeasibleSelectionError):
+        with pytest.raises(InfeasibleSelectionError) as outcome:
             select_claim_batch([], {}, config=BatchingConfig())
+        assert outcome.value.constraint == "pool"
 
     def test_negative_cost_rejected(self):
         with pytest.raises(ValueError):
             BatchCandidate("c1", "s", verification_cost=-1.0, training_utility=0.0)
+
+    def test_min_batch_above_pool_surfaces_the_constraint(self):
+        """No more silent short batches: both solver paths refuse, and the
+        error names the violated constraint."""
+        for use_milp in (True, False):
+            with pytest.raises(InfeasibleSelectionError) as outcome:
+                select_claim_batch(
+                    self._candidates(),
+                    {"sec1": 30.0, "sec2": 30.0},
+                    config=BatchingConfig(
+                        min_batch_size=5, max_batch_size=8, cost_threshold=500.0
+                    ),
+                    use_milp=use_milp,
+                )
+            assert outcome.value.constraint == "min_batch_size"
+
+    def test_pinned_regime_still_allows_a_partial_final_batch(self):
+        """Without a cost threshold, min_batch_size is replaced by the pin:
+        a tail pool smaller than the configured minimum stays selectable."""
+        selection = select_claim_batch(
+            self._candidates(),
+            {"sec1": 30.0, "sec2": 30.0},
+            config=BatchingConfig(min_batch_size=5, max_batch_size=100),
+        )
+        assert selection.batch_size == 3
+
+    def test_config_zero_threshold_shim_warns_and_disables(self):
+        with pytest.warns(DeprecationWarning):
+            config = BatchingConfig(cost_threshold=0.0)
+        assert config.cost_threshold is None
+        selection = select_claim_batch(
+            self._candidates(), {"sec1": 30.0, "sec2": 30.0}, config=config
+        )
+        # Legacy semantics preserved: no cap, batch pinned to the pool size.
+        assert selection.batch_size == 3
 
 
 class TestQuestionPlanner:

@@ -1,0 +1,414 @@
+"""Tests for the adaptive batch-planning engine (``repro.planning.engine``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.service import VerificationService
+from repro.config import BatchingConfig, ScrutinizerConfig
+from repro.errors import InfeasibleSelectionError
+from repro.planning.batching import BatchCandidate, ClaimSelection, select_claim_batch
+from repro.planning.engine import PlannerEngine, ScoreCache, dominance_prune
+from repro.planning.ilp import solve_claim_selection_ilp
+from repro.planning.planner import QuestionPlanner
+from repro.serving.server import AdmissionPolicy, VerificationServer
+
+
+def _candidates(utilities, costs, sections):
+    return [
+        BatchCandidate(
+            claim_id=f"c{index:04d}",
+            section_id=f"sec{section:02d}",
+            verification_cost=float(cost),
+            training_utility=float(utility),
+        )
+        for index, (utility, cost, section) in enumerate(zip(utilities, costs, sections))
+    ]
+
+
+def _combined_objective(selection, utility_weight):
+    """The Definition 9 combined objective of a concrete selection."""
+    return selection.total_cost - utility_weight * selection.total_utility
+
+
+# --------------------------------------------------------------------------- #
+# instance strategy shared by the property tests
+# --------------------------------------------------------------------------- #
+@st.composite
+def _instances(draw):
+    size = draw(st.integers(min_value=3, max_value=16))
+    section_count = draw(st.integers(min_value=1, max_value=4))
+    utilities = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    costs = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=60.0),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    sections = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=section_count - 1),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    reads = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=40.0),
+            min_size=section_count,
+            max_size=section_count,
+        )
+    )
+    max_batch = draw(st.integers(min_value=1, max_value=size))
+    return utilities, costs, sections, reads, max_batch
+
+
+class TestEngineExactness:
+    """The engine must be an exact drop-in for the per-round re-solve."""
+
+    @settings(deadline=None, max_examples=30)
+    @given(_instances())
+    def test_pinned_regime_matches_full_milp(self, instance):
+        """Pruning + per-section aggregation never change the objective."""
+        utilities, costs, sections, reads, max_batch = instance
+        config = BatchingConfig(
+            min_batch_size=1, max_batch_size=max_batch, utility_weight=5.0
+        )
+        candidates = _candidates(utilities, costs, sections)
+        read_costs = {f"sec{j:02d}": reads[j] for j in range(len(reads))}
+        baseline = select_claim_batch(candidates, read_costs, config=config)
+        engine = PlannerEngine().plan(candidates, read_costs, config=config)
+        assert _combined_objective(engine, 5.0) == pytest.approx(
+            _combined_objective(baseline, 5.0), abs=1e-6
+        )
+        assert len(engine.claim_ids) == len(baseline.claim_ids)
+
+    @settings(deadline=None, max_examples=25)
+    @given(_instances(), st.floats(min_value=50.0, max_value=400.0))
+    def test_cost_threshold_regime_matches_full_milp(self, instance, threshold):
+        utilities, costs, sections, reads, max_batch = instance
+        config = BatchingConfig(
+            min_batch_size=0,
+            max_batch_size=max_batch,
+            cost_threshold=threshold,
+            utility_weight=30.0,
+        )
+        candidates = _candidates(utilities, costs, sections)
+        read_costs = {f"sec{j:02d}": reads[j] for j in range(len(reads))}
+        baseline = select_claim_batch(candidates, read_costs, config=config)
+        engine = PlannerEngine().plan(candidates, read_costs, config=config)
+        assert _combined_objective(engine, 30.0) == pytest.approx(
+            _combined_objective(baseline, 30.0), abs=1e-6
+        )
+
+    @settings(deadline=None, max_examples=30)
+    @given(_instances())
+    def test_dominance_pruning_keeps_the_milp_objective(self, instance):
+        """Solving the ILP on the pruned pool gives the full pool's optimum."""
+        utilities, costs, sections, reads, max_batch = instance
+        utilities = np.asarray(utilities)
+        costs = np.asarray(costs)
+        sections = np.asarray(sections)
+        kept = dominance_prune(
+            utilities,
+            costs,
+            sections,
+            max_batch,
+            cost_constrained=True,
+            utility_weight=5.0,
+        )
+        full = solve_claim_selection_ilp(
+            utilities=list(utilities),
+            verification_costs=list(costs),
+            claim_sections=list(sections),
+            section_read_costs=list(reads),
+            min_batch_size=0,
+            max_batch_size=max_batch,
+            cost_threshold=250.0,
+            utility_weight=5.0,
+        )
+        pruned = solve_claim_selection_ilp(
+            utilities=list(utilities[kept]),
+            verification_costs=list(costs[kept]),
+            claim_sections=list(sections[kept]),
+            section_read_costs=list(reads),
+            min_batch_size=0,
+            max_batch_size=max_batch,
+            cost_threshold=250.0,
+            utility_weight=5.0,
+        )
+        assert pruned.objective_value == pytest.approx(
+            full.objective_value, abs=1e-6
+        )
+
+    def test_pure_utility_shortcut_picks_top_batch(self):
+        candidates = _candidates([1.0, 4.0, 2.0, 4.0], [10.0] * 4, [0, 1, 0, 1])
+        config = BatchingConfig(min_batch_size=1, max_batch_size=2, utility_weight=0.0)
+        selection = PlannerEngine().plan(candidates, {}, config=config)
+        assert selection.solver == "engine-direct"
+        # Top-2 utilities, lowest index first on the tie between c1 and c3.
+        assert selection.claim_ids == ("c0001", "c0003")
+
+    def test_small_pool_selects_everything(self):
+        candidates = _candidates([1.0, 2.0], [10.0, 20.0], [0, 0])
+        selection = PlannerEngine().plan(
+            candidates, {"sec00": 5.0}, config=BatchingConfig(max_batch_size=10)
+        )
+        assert selection.solver == "engine-direct"
+        assert selection.claim_ids == ("c0000", "c0001")
+
+
+class TestEngineCaches:
+    def test_skeleton_cache_hits_on_same_pool_shape(self):
+        rng = np.random.default_rng(3)
+        candidates = _candidates(
+            rng.uniform(0.1, 3.0, 40), rng.uniform(5.0, 50.0, 40), rng.integers(0, 4, 40)
+        )
+        reads = {f"sec{j:02d}": 20.0 for j in range(4)}
+        config = BatchingConfig(
+            min_batch_size=0, max_batch_size=8, cost_threshold=300.0, utility_weight=30.0
+        )
+        engine = PlannerEngine()
+        engine.plan(candidates, reads, config=config)
+        assert engine.stats.skeleton_misses == 1
+        engine.plan(candidates, reads, config=config)
+        assert engine.stats.skeleton_hits == 1
+
+    def test_skeleton_cache_is_bounded(self):
+        engine = PlannerEngine(skeleton_cache_size=1)
+        reads = {"sec00": 10.0, "sec01": 10.0}
+        config = BatchingConfig(
+            min_batch_size=0, max_batch_size=2, cost_threshold=100.0, utility_weight=30.0
+        )
+        engine.plan(_candidates([1.0, 2.0, 3.0], [5.0] * 3, [0, 1, 0]), reads, config=config)
+        engine.plan(_candidates([1.0, 2.0, 3.0], [5.0] * 3, [0, 0, 1]), reads, config=config)
+        assert engine.stats.skeleton_misses == 2
+
+    def test_greedy_fallback_when_milp_disabled(self):
+        candidates = _candidates([3.0, 1.0, 2.0], [10.0, 10.0, 10.0], [0, 1, 2])
+        reads = {f"sec{j:02d}": 5.0 for j in range(3)}
+        config = BatchingConfig(
+            min_batch_size=1, max_batch_size=2, cost_threshold=200.0, utility_weight=30.0
+        )
+        selection = PlannerEngine().plan(candidates, reads, config=config, use_milp=False)
+        assert selection.solver == "engine-greedy"
+        assert 1 <= selection.batch_size <= 2
+
+    def test_infeasible_minimum_batch_raises(self):
+        candidates = _candidates([1.0], [10.0], [0])
+        engine = PlannerEngine()
+        with pytest.raises(InfeasibleSelectionError) as outcome:
+            engine.plan(
+                candidates,
+                {},
+                config=BatchingConfig(
+                    min_batch_size=3, max_batch_size=5, cost_threshold=100.0
+                ),
+            )
+        assert outcome.value.constraint == "min_batch_size"
+
+    def test_pinned_regime_allows_a_partial_final_batch(self):
+        """A tail pool smaller than min_batch_size stays selectable when the
+        batch size is pinned (no cost threshold) — matching
+        select_claim_batch."""
+        candidates = _candidates([1.0, 2.0], [10.0, 12.0], [0, 0])
+        selection = PlannerEngine().plan(
+            candidates,
+            {"sec00": 5.0},
+            config=BatchingConfig(min_batch_size=10, max_batch_size=100),
+        )
+        assert selection.batch_size == 2
+
+    def test_score_cache_registry_is_lru_bounded(self):
+        engine = PlannerEngine(score_cache_size=2)
+        for key in ("a", "b", "c"):
+            engine.score_cache(key)
+        assert set(engine.score_cache_keys) == {"b", "c"}
+
+    def test_zero_budget_raises_through_engine(self):
+        candidates = _candidates([1.0, 2.0], [10.0, 10.0], [0, 1])
+        reads = {"sec00": 5.0, "sec01": 5.0}
+        config = BatchingConfig(
+            min_batch_size=1, max_batch_size=2, cost_threshold=1.0, utility_weight=30.0
+        )
+        with pytest.raises(InfeasibleSelectionError) as outcome:
+            PlannerEngine().plan(candidates, reads, config=config)
+        assert outcome.value.constraint == "cost_threshold"
+
+
+class TestScoreCache:
+    def test_generation_bump_invalidates_everything(self):
+        cache = ScoreCache()
+        cache.refresh(1)
+        cache.update(["a", "b"], [1.0, 2.0], [0.1, 0.2])
+        assert cache.missing(["a", "b", "c"]) == ["c"]
+        assert cache.refresh(2) is True
+        assert cache.missing(["a", "b"]) == ["a", "b"]
+
+    def test_same_generation_keeps_scores(self):
+        cache = ScoreCache()
+        cache.refresh(7)
+        cache.update(["a"], [1.0], [0.5])
+        assert cache.refresh(7) is False
+        assert cache.get(["a"]) == ([1.0], [0.5])
+
+    def test_none_generation_never_caches(self):
+        cache = ScoreCache()
+        cache.refresh(None)
+        cache.update(["a"], [1.0], [0.5])
+        assert cache.refresh(None) is True
+        assert cache.missing(["a"]) == ["a"]
+
+    def test_forget_drops_specific_claims(self):
+        cache = ScoreCache()
+        cache.refresh(1)
+        cache.update(["a", "b"], [1.0, 2.0], [0.1, 0.2])
+        cache.forget(["a", "never-seen"])
+        assert cache.missing(["a", "b"]) == ["a"]
+
+    def test_engine_keeps_per_session_caches(self):
+        engine = PlannerEngine()
+        engine.score_cache("tenant-a").refresh(1)
+        engine.score_cache("tenant-a").update(["x"], [1.0], [1.0])
+        assert engine.score_cache("tenant-b").missing(["x"]) == ["x"]
+        assert engine.drop_score_cache("tenant-a") is True
+        assert engine.drop_score_cache("tenant-a") is False
+
+
+class TestServiceIntegration:
+    @pytest.fixture()
+    def engine_service(self, small_corpus):
+        engine = PlannerEngine()
+        config = ScrutinizerConfig(
+            checker_count=3,
+            batching=BatchingConfig(min_batch_size=1, max_batch_size=20),
+        )
+        service = VerificationService(small_corpus, config, planner_engine=engine)
+        return service, engine
+
+    def test_engine_service_completes_the_corpus(self, small_corpus, engine_service):
+        service, engine = engine_service
+        report = service.run_to_completion()
+        assert len(report.verifications) == len(list(small_corpus.claim_ids))
+        assert engine.stats.plans == service.batches_run
+        # After warm-up every batch plans through the engine's exact DP.
+        assert engine.stats.direct_solves >= 1
+
+    def test_only_changed_claims_rescore_within_a_generation(self, small_corpus):
+        engine = PlannerEngine()
+        config = ScrutinizerConfig(
+            checker_count=3,
+            batching=BatchingConfig(min_batch_size=1, max_batch_size=10),
+        )
+        service = VerificationService(small_corpus, config, planner_engine=engine)
+        service.warm_start()
+        generation_before = service._feature_generation()
+        service.submit()
+        service.run_batch()
+        pool = len(list(small_corpus.claim_ids))
+        # First round scores the whole pool from scratch.
+        assert engine.stats.scores_computed == pool
+        if service._feature_generation() == generation_before:
+            # No refit happened: the second round reuses every cached score.
+            service.run_batch()
+            assert engine.stats.scores_computed == pool
+            assert engine.stats.scores_reused > 0
+
+    def test_empty_selection_surfaces_instead_of_spinning(self, small_corpus):
+        """A legal-but-empty selection (possible under a genuine cost
+        threshold) must raise, not loop forever verifying nothing."""
+
+        class _EmptySelector:
+            def plan_batch(self, candidates, section_read_costs, document_order=None):
+                return ClaimSelection(
+                    claim_ids=(),
+                    total_cost=0.0,
+                    total_utility=0.0,
+                    sections_read=(),
+                    solver="stub",
+                )
+
+        service = VerificationService(
+            small_corpus,
+            ScrutinizerConfig(checker_count=3),
+            batch_selector=_EmptySelector(),
+        )
+        service.submit()
+        with pytest.raises(InfeasibleSelectionError) as outcome:
+            service.run_batch()
+        assert outcome.value.constraint == "cost_threshold"
+
+    def test_reattaching_under_a_new_key_drops_the_old_cache(self, small_corpus):
+        engine = PlannerEngine()
+        service = VerificationService(
+            small_corpus, ScrutinizerConfig(checker_count=3), planner_engine=engine
+        )
+        first_key = service._engine_cache_key
+        engine.score_cache(first_key).update(["x"], [1.0], [1.0])
+        service.use_planner_engine(engine, cache_key="tenant-7")
+        assert first_key not in engine.score_cache_keys
+        # Same engine, same key: the warm cache survives (rehydration path).
+        engine.score_cache("tenant-7").refresh(1)
+        engine.score_cache("tenant-7").update(["y"], [2.0], [2.0])
+        service.use_planner_engine(engine, cache_key="tenant-7")
+        assert engine.score_cache("tenant-7").missing(["y"]) == []
+
+    def test_feature_generation_bump_forces_full_rescore(self, small_corpus):
+        engine = PlannerEngine()
+        config = ScrutinizerConfig(
+            checker_count=3,
+            batching=BatchingConfig(min_batch_size=1, max_batch_size=10),
+        )
+        service = VerificationService(small_corpus, config, planner_engine=engine)
+        service.warm_start()
+        service.submit()
+        service.run_batch()
+        computed_before = engine.stats.scores_computed
+        pending = len(service.session.pending_claim_ids)
+        # Force a featurizer refit: the feature generation bumps and every
+        # cached score (stale by construction) must be recomputed — exactly
+        # the claims whose features changed, i.e. the whole pending pool.
+        claims = [annotated.claim for annotated in small_corpus]
+        service.translator.suite.preprocessor.fit(claims)
+        service.run_batch()
+        assert engine.stats.score_invalidations >= 1
+        assert engine.stats.scores_computed == computed_before + pending
+
+
+class TestServingIntegration:
+    def test_tenants_share_one_engine(self, small_corpus, tmp_path):
+        engine = PlannerEngine()
+        config = ScrutinizerConfig(
+            checker_count=3,
+            batching=BatchingConfig(min_batch_size=1, max_batch_size=15),
+        )
+        with VerificationServer(
+            small_corpus,
+            config,
+            policy=AdmissionPolicy(max_tenants=4, max_resident_sessions=2),
+            # Thread executor on purpose: two tenant sessions plan through
+            # the shared engine concurrently, exercising its locking.
+            executor="thread",
+            snapshot_dir=tmp_path / "snaps",
+            planner_engine=engine,
+        ) as server:
+            claim_ids = list(small_corpus.claim_ids)
+            server.submit("alpha", claim_ids[:30])
+            server.submit("beta", claim_ids[30:60])
+            server.run_until_idle()
+            assert server.planner_engine is engine
+            assert len(server.verified_claim_ids("alpha")) == 30
+            assert len(server.verified_claim_ids("beta")) == 30
+        # Both tenants planned through the shared engine, with per-tenant
+        # score caches keyed by tenant id.
+        assert engine.stats.plans >= 2
+        assert set(engine.score_cache_keys) >= {"alpha", "beta"}
