@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-runtime bench-serving bench-planner coverage lint check
+.PHONY: test bench bench-quick bench-runtime bench-serving bench-planner coverage lint lint-invariants typecheck check
 
 # Tier-1 verification: the full unit + benchmark suite, fail-fast.
 test:
@@ -59,4 +59,21 @@ lint:
 		echo "ruff not installed; compileall only"; \
 	fi
 
-check: lint test
+# Project-specific invariant checks (reprolint): RNG discipline, snapshot
+# coverage, lock discipline, layering, error taxonomy and output/wall-clock
+# hygiene.  Pure stdlib — always runs.  Pre-existing violations are
+# grandfathered in reprolint.baseline.json; only new ones fail.
+lint-invariants:
+	$(PYTHON) -m repro.analysis src/repro
+
+# Static types for the strict-checked foundations (see mypy.ini).  Skipped
+# with a notice when mypy is absent locally; CI installs it from
+# requirements-dev.txt, so the Lint job always gets the real check.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping typecheck"; \
+	fi
+
+check: lint lint-invariants typecheck test

@@ -1,0 +1,78 @@
+"""Rule: raised exceptions come from the ``repro.errors`` taxonomy.
+
+Callers of the library catch :class:`~repro.errors.ReproError` subclasses
+— the serving layer's admission control, the CLI's exit-code mapping and
+the workload driver's retry logic all dispatch on them.  A bare
+``raise ValueError`` escapes that taxonomy: it reads as a programming
+error to every ``except ReproError`` handler and carries none of the
+structured attributes (``constraint``, ``tenant_id``...) the callers use.
+
+``TypeError`` (caller passed the wrong kind of object),
+``NotImplementedError`` and ``AssertionError`` stay allowed — they signal
+contract violations by the *programmer*, not conditions a caller should
+handle.  Re-raises (``raise`` with no exception) and raising names bound
+from ``repro.errors`` or defined locally are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Module, ProjectIndex, Rule, Violation
+from repro.analysis.rules._ast_utils import QualnameIndex
+
+__all__ = ["ErrorTaxonomyRule"]
+
+#: Builtins that must not be raised directly in library code.
+_FORBIDDEN = {
+    "ArithmeticError",
+    "BaseException",
+    "BufferError",
+    "EOFError",
+    "Exception",
+    "IOError",
+    "IndexError",
+    "KeyError",
+    "LookupError",
+    "OSError",
+    "RuntimeError",
+    "ValueError",
+}
+
+
+class ErrorTaxonomyRule(Rule):
+    rule_id = "error-taxonomy"
+    description = (
+        "raise errors from the repro.errors hierarchy, not bare builtins "
+        "like ValueError/RuntimeError"
+    )
+    invariant = (
+        "every condition a caller can handle surfaces as a ReproError "
+        "subclass, so admission control, CLIs and retry logic can "
+        "dispatch on the taxonomy"
+    )
+
+    def check_module(self, module: Module, index: ProjectIndex) -> Iterable[Violation]:
+        qualnames = QualnameIndex(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name: str | None = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name is None or name not in _FORBIDDEN:
+                continue
+            where = qualnames.enclosing(node)
+            yield self.violation(
+                module,
+                node,
+                f"raise {name} in {where or 'module scope'}: raise a "
+                "repro.errors class instead (ConfigurationError for bad "
+                "arguments/config, or a subsystem error) so callers can "
+                "dispatch on the taxonomy",
+                f"builtin-raise:{name}:{where or '<module>'}",
+            )

@@ -1,0 +1,116 @@
+"""Rules: no ``print()`` in library code; no wall-clock on deterministic paths.
+
+Two small hygiene rules that protect the same property — library behaviour
+depends only on inputs, configuration and seeds:
+
+* :class:`PrintHygieneRule` — ``print()`` in library code bypasses every
+  report/callback surface the API exposes and pollutes stdout of serving
+  processes.  CLI entry points (``cli.py``, ``__main__.py``) own stdout
+  by design and are exempt.
+* :class:`WallClockRule` — ``time.time()`` / ``datetime.now()`` on a
+  deterministic path makes behaviour depend on *when* a run happens,
+  which breaks byte-identical resume and cross-run comparability.  The
+  simulated clock lives in :class:`~repro.crowd.timing.TimingModel`;
+  everything else must take time as data.  ``time.perf_counter()`` is
+  allowed: it only ever feeds *reported* wall-second metrics, never
+  decisions (and resume never replays it).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.core import Module, ProjectIndex, Rule, Violation
+from repro.analysis.rules._ast_utils import ImportMap, QualnameIndex, resolve_call
+
+__all__ = ["PrintHygieneRule", "WallClockRule"]
+
+
+class PrintHygieneRule(Rule):
+    rule_id = "print-hygiene"
+    description = "no print() outside CLI entry points (cli.py / __main__.py)"
+    invariant = (
+        "library output flows through reports and callbacks, so serving "
+        "processes and embedding applications own their stdout"
+    )
+
+    def __init__(self, exempt_basenames: Sequence[str] = ("cli", "__main__")) -> None:
+        self.exempt_basenames = tuple(exempt_basenames)
+
+    def check_module(self, module: Module, index: ProjectIndex) -> Iterable[Violation]:
+        basename = module.name.rsplit(".", 1)[-1]
+        if basename in self.exempt_basenames:
+            return
+        qualnames = QualnameIndex(module.tree)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                where = qualnames.enclosing(node) or "<module>"
+                yield self.violation(
+                    module,
+                    node,
+                    "print() in library code: route output through the "
+                    "report/callback surfaces or an injectable writer; only "
+                    "cli.py / __main__.py own stdout",
+                    f"print:{where}",
+                )
+
+
+#: Calls whose result depends on when the program runs.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    rule_id = "wall-clock"
+    description = (
+        "no time.time()/datetime.now() in library code; simulated time "
+        "comes from TimingModel, elapsed metrics from time.perf_counter()"
+    )
+    invariant = (
+        "behaviour depends on inputs, config and seeds — never on when a "
+        "run happens — so resume and cross-run comparisons stay exact"
+    )
+
+    def __init__(self, allow_modules: Sequence[str] = ("repro.crowd.timing",)) -> None:
+        self.allow_modules = tuple(allow_modules)
+
+    def check_module(self, module: Module, index: ProjectIndex) -> Iterable[Violation]:
+        if module.name in self.allow_modules:
+            return
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node, imports)
+            if target is None:
+                continue
+            # ``from datetime import datetime`` resolves to
+            # ``datetime.datetime``; a bare ``import datetime`` leaves
+            # ``datetime.now`` as-is, so normalize the short spelling too.
+            if target in {"datetime.now", "datetime.utcnow", "datetime.today"}:
+                target = f"datetime.{target}"
+            if target in _WALL_CLOCK_CALLS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"{target}() makes behaviour depend on wall-clock time; "
+                    "deterministic paths must take time as data (simulated "
+                    "durations come from TimingModel, elapsed-seconds "
+                    "metrics from time.perf_counter())",
+                    f"wall-clock:{target}",
+                )

@@ -1,0 +1,135 @@
+"""Rule: every random stream must be explicitly, reproducibly seeded.
+
+Byte-identical checkpoint/resume (PR 3) and exact tenant isolation in the
+serving layer both assume that *every* source of randomness is a seeded
+generator object whose state the snapshot layer can capture.  A single
+``np.random.default_rng()`` without a seed — or any draw from the global
+``np.random.*`` / ``random.*`` module state — silently breaks resume:
+the stream cannot be serialized per component and differs across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Module, ProjectIndex, Rule, Violation
+from repro.analysis.rules._ast_utils import ImportMap, QualnameIndex, resolve_call
+
+__all__ = ["RngDisciplineRule"]
+
+#: Constructors of seedable generator objects — allowed *with* a seed.
+_GENERATOR_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+#: Anything else called on the numpy/stdlib random *modules* draws from
+#: (or reseeds) hidden global state.
+_MODULE_PREFIXES = ("numpy.random.", "random.")
+
+#: Calls that must never feed a seed expression (seed-from-wall-clock or
+#: seed-from-entropy defeats the whole point of seeding).
+_FORBIDDEN_SEED_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.perf_counter",
+    "os.urandom",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.randbits",
+}
+
+
+class RngDisciplineRule(Rule):
+    rule_id = "rng-discipline"
+    description = (
+        "RNG constructors must receive an explicit seed; no draws from "
+        "module-level numpy.random / random state"
+    )
+    invariant = (
+        "every random stream is a seeded generator object the snapshot "
+        "layer can serialize, so checkpoint/resume stays byte-identical"
+    )
+
+    def check_module(self, module: Module, index: ProjectIndex) -> Iterable[Violation]:
+        imports = ImportMap(module.tree)
+        qualnames = QualnameIndex(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node, imports)
+            if target is None:
+                continue
+            if target == "random.SystemRandom":
+                where = qualnames.enclosing(node) or "<module>"
+                yield self.violation(
+                    module,
+                    node,
+                    "random.SystemRandom draws from OS entropy and can never "
+                    "be reproduced; use a seeded random.Random instead",
+                    f"system-random:{where}",
+                )
+            elif target in _GENERATOR_CONSTRUCTORS:
+                yield from self._check_seed(module, node, target, imports)
+            elif target.startswith(_MODULE_PREFIXES):
+                head = target.rsplit(".", 1)[-1]
+                yield self.violation(
+                    module,
+                    node,
+                    f"{target}() draws from hidden module-level RNG state that "
+                    "snapshots cannot capture; construct a seeded generator "
+                    "(np.random.default_rng(seed) / random.Random(seed)) and "
+                    "thread it through instead",
+                    f"module-state:{head}",
+                )
+
+    def _check_seed(
+        self, module: Module, call: ast.Call, target: str, imports: ImportMap
+    ) -> Iterable[Violation]:
+        seed = self._seed_argument(call, target)
+        if seed is None:
+            yield self.violation(
+                module,
+                call,
+                f"{target}() constructed without a seed; derive one from the "
+                "configuration or the caller's arguments so the stream is "
+                "reproducible and snapshot-serializable",
+                f"unseeded:{target}",
+            )
+            return
+        if isinstance(seed, ast.Constant) and seed.value is None:
+            yield self.violation(
+                module,
+                call,
+                f"{target}(None) seeds from OS entropy — pass a seed derived "
+                "from config/arguments",
+                f"unseeded:{target}",
+            )
+            return
+        for inner in ast.walk(seed):
+            if isinstance(inner, ast.Call):
+                inner_target = resolve_call(inner, imports)
+                if inner_target in _FORBIDDEN_SEED_SOURCES:
+                    yield self.violation(
+                        module,
+                        call,
+                        f"seed of {target}() is derived from {inner_target}(), "
+                        "which differs on every run; seeds must come from "
+                        "config or caller arguments",
+                        f"volatile-seed:{inner_target}",
+                    )
+
+    @staticmethod
+    def _seed_argument(call: ast.Call, target: str) -> ast.expr | None:
+        if call.args:
+            return call.args[0]
+        keyword_name = "x" if target == "random.Random" else "seed"
+        for keyword in call.keywords:
+            if keyword.arg == keyword_name or keyword.arg == "seed":
+                return keyword.value
+        return None

@@ -1,0 +1,189 @@
+"""Rule: stateful classes must expose snapshot hooks.
+
+:class:`~repro.runtime.snapshot.ServiceSnapshot` round-trips a running
+service byte-identically because every component holding mutable learned
+state (fitted weights, vocabularies) or RNG state implements a capture
+hook (``to_state`` / ``get_rng_state``) and a restore hook
+(``from_state`` / ``restore_state`` / ``set_rng_state`` /
+``restore_run_state``).  A new stateful class without hooks is invisible
+to snapshots: resume then starts it cold and the byte-identity guarantee
+quietly dies.
+
+Detection heuristics:
+
+* a class that constructs a seeded generator into an attribute
+  (``self._rng = np.random.default_rng(...)``) holds RNG state;
+* a class whose ``fit`` / ``fit_texts`` / ``partial_fit`` / ``bootstrap``
+  method assigns instance attributes holds learned state.
+
+The project pass cross-checks the hook names this rule recognizes against
+the hook names the snapshot layer actually uses (via ``getattr(x, "...")``
+strings and direct calls in ``repro/runtime/snapshot.py``): if the
+snapshot layer grows a hook this rule does not know, the rule itself
+fails the build until it is updated — the checker and the serializer
+cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Module, ProjectIndex, Rule, Violation
+from repro.analysis.rules._ast_utils import (
+    ImportMap,
+    iter_classes,
+    iter_functions,
+    resolve_call,
+    self_attribute,
+)
+
+__all__ = ["SnapshotCoverageRule"]
+
+_RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "random.Random",
+}
+
+_FIT_METHODS = {"fit", "fit_texts", "partial_fit", "bootstrap"}
+
+#: Hooks the snapshot layer may use to capture component state.
+CAPTURE_HOOKS = frozenset({"to_state", "get_rng_state"})
+#: Hooks the snapshot layer may use to restore component state.
+RESTORE_HOOKS = frozenset(
+    {"from_state", "restore_state", "set_rng_state", "restore_run_state"}
+)
+
+#: Base classes that mark a definition as an interface, not a component.
+_INTERFACE_BASES = {"Protocol", "ABC", "Enum", "IntEnum", "StrEnum", "NamedTuple"}
+
+
+def _is_interface(class_node: ast.ClassDef) -> bool:
+    for base in class_node.bases:
+        name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", None)
+        if name in _INTERFACE_BASES:
+            return True
+    return False
+
+
+class SnapshotCoverageRule(Rule):
+    rule_id = "snapshot-coverage"
+    description = (
+        "classes holding RNG or fitted state must define snapshot "
+        "capture/restore hooks (to_state/from_state or "
+        "get_rng_state/set_rng_state)"
+    )
+    invariant = (
+        "ServiceSnapshot can capture and restore every mutable component, "
+        "keeping checkpoint/resume and LRU passivation byte-identical"
+    )
+
+    def __init__(self, snapshot_module: str = "repro.runtime.snapshot") -> None:
+        self.snapshot_module = snapshot_module
+
+    # ------------------------------------------------------------------ #
+    # per-class hook presence
+    # ------------------------------------------------------------------ #
+    def check_module(self, module: Module, index: ProjectIndex) -> Iterable[Violation]:
+        imports = ImportMap(module.tree)
+        for class_node in iter_classes(module.tree):
+            if _is_interface(class_node):
+                continue
+            methods = {fn.name for fn in iter_functions(class_node)}
+            rng_attrs = self._rng_attributes(class_node, imports)
+            fitted = self._fit_assigns_state(class_node)
+            if not rng_attrs and not fitted:
+                continue
+            has_capture = bool(methods & CAPTURE_HOOKS)
+            has_restore = bool(methods & RESTORE_HOOKS)
+            if has_capture and has_restore:
+                continue
+            if rng_attrs:
+                held = f"RNG state ({', '.join(sorted(rng_attrs))})"
+            else:
+                held = "fitted state (its fit method assigns instance attributes)"
+            missing = []
+            if not has_capture:
+                missing.append("capture hook (to_state or get_rng_state)")
+            if not has_restore:
+                missing.append(
+                    "restore hook (from_state, restore_state or set_rng_state)"
+                )
+            yield self.violation(
+                module,
+                class_node,
+                f"class {class_node.name} holds {held} but defines no "
+                f"{' and no '.join(missing)}; ServiceSnapshot cannot "
+                "round-trip it, so resume would restart it cold",
+                f"missing-hooks:{class_node.name}",
+            )
+
+    @staticmethod
+    def _rng_attributes(class_node: ast.ClassDef, imports: ImportMap) -> set[str]:
+        attrs: set[str] = set()
+        for node in ast.walk(class_node):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            if resolve_call(node.value, imports) not in _RNG_CONSTRUCTORS:
+                continue
+            for target in node.targets:
+                attr = self_attribute(target)
+                if attr is not None:
+                    attrs.add(attr)
+        return attrs
+
+    @staticmethod
+    def _fit_assigns_state(class_node: ast.ClassDef) -> bool:
+        for fn in iter_functions(class_node):
+            if fn.name not in _FIT_METHODS:
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    targets: list[ast.expr] = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                else:
+                    continue
+                if any(self_attribute(target) is not None for target in targets):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # cross-check against what the snapshot layer actually serializes
+    # ------------------------------------------------------------------ #
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        snapshot = index.get(self.snapshot_module)
+        if snapshot is None:
+            return
+        known = CAPTURE_HOOKS | RESTORE_HOOKS
+        for node in ast.walk(snapshot.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            hook: str | None = None
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "getattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                hook = node.args[1].value
+            elif isinstance(node.func, ast.Attribute):
+                hook = node.func.attr
+            if (
+                hook is None
+                or hook in known
+                or not (hook.endswith("_state") and not hook.startswith("_"))
+            ):
+                continue
+            yield self.violation(
+                snapshot,
+                node,
+                f"the snapshot layer uses hook {hook!r}, which "
+                "snapshot-coverage does not recognize; add it to "
+                "CAPTURE_HOOKS/RESTORE_HOOKS in "
+                "repro/analysis/rules/snapshots.py so the rule keeps "
+                "matching what ServiceSnapshot actually serializes",
+                f"unknown-hook:{hook}",
+            )

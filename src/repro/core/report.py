@@ -10,7 +10,7 @@ accuracy of the aggregated verdicts).
 from __future__ import annotations
 
 import json
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.claims.corpus import ClaimCorpus

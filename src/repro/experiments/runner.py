@@ -7,7 +7,9 @@ with a single call (see ``examples/full_reproduction.py``).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
+from typing import IO
 
 from repro.api.service import BatchResult
 from repro.experiments import (
@@ -36,11 +38,18 @@ class ExperimentRunner:
     max_batches: int | None = None
     #: Print per-batch progress of the assisted simulation runs.
     progress: bool = False
+    #: Destination for verbose/progress output; embedding applications
+    #: (and tests) pass their own stream instead of stdout.
+    output: IO[str] | None = None
+
+    def _write(self, text: str) -> None:
+        stream = self.output if self.output is not None else sys.stdout
+        stream.write(text + "\n")
 
     def run_all(self, verbose: bool = True) -> dict[str, object]:
         """Run every experiment and return a name → outcome mapping."""
         corpus = generate_corpus(self.scenario.corpus)
-        progress = self._print_progress if self.progress and verbose else None
+        progress = self._write_progress if self.progress and verbose else None
         simulator = ReportSimulator(self.scenario, progress=progress)
         simulator.use_corpus(corpus)
 
@@ -61,15 +70,14 @@ class ExperimentRunner:
         results["figure9"] = figure9.run(run_result=summary.get("Scrutinizer"))
 
         if verbose:
-            print(self.render(results))
+            self._write(self.render(results))
         return results
 
-    @staticmethod
-    def _print_progress(system_name: str, result: BatchResult) -> None:
+    def _write_progress(self, system_name: str, result: BatchResult) -> None:
         """Per-batch progress line for long simulation runs."""
         accuracy = result.accuracy_by_property.get("average")
         accuracy_note = f", accuracy {accuracy:.2f}" if accuracy is not None else ""
-        print(
+        self._write(
             f"  [{system_name}] batch {result.batch_index}: "
             f"{result.batch_size} claims in {result.seconds_spent:.0f}s crowd time"
             f"{accuracy_note}, {result.pending_after} pending"

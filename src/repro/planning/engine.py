@@ -53,7 +53,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import BatchingConfig
-from repro.errors import InfeasibleSelectionError
+from repro.errors import ConfigurationError, InfeasibleSelectionError
 from repro.planning.batching import (
     BatchCandidate,
     ClaimSelection,
@@ -247,9 +247,9 @@ class PlannerEngine:
         self, *, skeleton_cache_size: int = 64, score_cache_size: int = 256
     ) -> None:
         if skeleton_cache_size < 1:
-            raise ValueError("skeleton_cache_size must be at least 1")
+            raise ConfigurationError("skeleton_cache_size must be at least 1")
         if score_cache_size < 1:
-            raise ValueError("score_cache_size must be at least 1")
+            raise ConfigurationError("score_cache_size must be at least 1")
         self._skeleton_cache_size = skeleton_cache_size
         self._score_cache_size = score_cache_size
         self._skeletons: OrderedDict[bytes, _Skeleton] = OrderedDict()

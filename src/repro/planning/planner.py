@@ -19,7 +19,7 @@ from repro.pipeline.scoring import estimate_costs, estimate_scores, estimate_uti
 from repro.planning.batching import BatchCandidate, ClaimSelection, select_claim_batch
 from repro.planning.costmodel import VerificationCostModel
 from repro.planning.engine import PlannerEngine
-from repro.planning.options import AnswerOption, options_from_prediction, order_options
+from repro.planning.options import options_from_prediction, order_options
 from repro.planning.pruning import PruningPowerCalculator
 from repro.planning.screens import QueryOption, QuestionPlan, Screen
 from repro.planning.utility import claim_training_utility, expected_claim_cost

@@ -133,3 +133,37 @@ class HashingWordEmbeddings:
         if denominator == 0:
             return 0.0
         return float(np.dot(a, b) / denominator)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible state: config plus the fitted context means.
+
+        Base vectors are a pure function of ``(token, seed)`` — the
+        ``_cache`` is derived state and deliberately excluded; it refills
+        on demand with bit-identical vectors.
+        """
+        return {
+            "dimension": self.dimension,
+            "seed": self.seed,
+            "smoothing": self.smoothing,
+            "context_means": {
+                token: mean.tolist()
+                for token, mean in sorted(self._context_means.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, object]) -> "HashingWordEmbeddings":
+        """Rebuild embeddings whose vectors match byte for byte."""
+        embeddings = cls(
+            dimension=int(state["dimension"]),  # type: ignore[arg-type]
+            seed=int(state["seed"]),  # type: ignore[arg-type]
+            smoothing=float(state["smoothing"]),  # type: ignore[arg-type]
+        )
+        embeddings._context_means = {
+            token: np.asarray(mean, dtype=float)
+            for token, mean in state.get("context_means", {}).items()  # type: ignore[union-attr]
+        }
+        return embeddings

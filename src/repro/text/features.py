@@ -9,7 +9,7 @@ vector is fed to the four property classifiers.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -163,6 +163,43 @@ class ClaimFeaturizer:
     def generation(self) -> int:
         """How many times :meth:`fit` has run; 0 before the first fit."""
         return self._generation
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible state composing the component states.
+
+        Stores the fitted vocabularies, IDF weights and embedding context
+        means directly (not the fit corpus), so restoring never re-runs
+        ``fit`` — and :attr:`generation` survives, keeping
+        feature-store generation checks honest across a resume.
+        """
+        return {
+            "config": asdict(self.config),
+            "embeddings": self._embeddings.to_state(),
+            "word_tfidf": self._word_tfidf.to_state(),
+            "char_tfidf": self._char_tfidf.to_state(),
+            "fitted": self._fitted,
+            "generation": self._generation,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, object]) -> "ClaimFeaturizer":
+        """Rebuild a featurizer producing byte-identical feature vectors."""
+        featurizer = cls(FeaturizerConfig(**state["config"]))  # type: ignore[arg-type]
+        featurizer._embeddings = HashingWordEmbeddings.from_state(
+            state["embeddings"]  # type: ignore[arg-type]
+        )
+        featurizer._word_tfidf = TfidfVectorizer.from_state(
+            featurizer._word_analyzer, state["word_tfidf"]  # type: ignore[arg-type]
+        )
+        featurizer._char_tfidf = TfidfVectorizer.from_state(
+            featurizer._char_analyzer, state["char_tfidf"]  # type: ignore[arg-type]
+        )
+        featurizer._fitted = bool(state["fitted"])
+        featurizer._generation = int(state["generation"])  # type: ignore[arg-type]
+        return featurizer
 
     def unseen_terms(self, claim_texts: Sequence[str]) -> set[str]:
         """Word and character n-grams of ``claim_texts`` new since the last fit.

@@ -150,3 +150,40 @@ class TfidfVectorizer:
         if not rows:
             return np.zeros((0, len(self._vocabulary)))
         return np.vstack(rows)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint state
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, object]:
+        """JSON-compatible fitted state (everything except the analyzer).
+
+        The analyzer is a caller-provided callable and cannot be
+        serialized; :meth:`from_state` takes it back as an argument.
+        Vocabulary is stored as a term list in index order, so restored
+        transforms are byte-identical.
+        """
+        terms = sorted(self._vocabulary, key=self._vocabulary.__getitem__)
+        return {
+            "max_features": self.max_features,
+            "min_df": self.min_df,
+            "vocabulary": terms,
+            "idf": None if self._idf is None else self._idf.tolist(),
+            "seen_terms": sorted(self._seen_terms),
+        }
+
+    @classmethod
+    def from_state(
+        cls, analyzer: Callable[[str], list[str]], state: dict[str, object]
+    ) -> "TfidfVectorizer":
+        """Rebuild a vectorizer whose transforms match byte for byte."""
+        vectorizer = cls(
+            analyzer,
+            max_features=state["max_features"],  # type: ignore[arg-type]
+            min_df=int(state["min_df"]),  # type: ignore[arg-type]
+        )
+        terms = list(state["vocabulary"])  # type: ignore[arg-type]
+        vectorizer._vocabulary = {term: index for index, term in enumerate(terms)}
+        idf = state.get("idf")
+        vectorizer._idf = None if idf is None else np.asarray(idf, dtype=float)
+        vectorizer._seen_terms = frozenset(state.get("seen_terms", ()))  # type: ignore[arg-type]
+        return vectorizer

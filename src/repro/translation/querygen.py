@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import TranslationConfig
 from repro.dataset.database import Database

@@ -10,7 +10,7 @@ to generate and tentatively execute candidate queries.
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 
 from repro.claims.model import Claim, ClaimGroundTruth, ClaimProperty
 from repro.config import TranslationConfig

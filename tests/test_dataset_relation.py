@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.dataset.catalog import Catalog
-from repro.dataset.database import Database
 from repro.dataset.relation import Relation
 from repro.errors import (
     DatasetError,

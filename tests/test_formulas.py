@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import FormulaBindingError, FormulaError, FormulaSyntaxError
-from repro.formulas.ast import AttributeVariable, Constant, ValueVariable
 from repro.formulas.extraction import FormulaExtractor, cagr_trace, const, lookup, op
 from repro.formulas.instantiate import FormulaInstantiator, ValueRef
 from repro.formulas.library import standard_library

@@ -20,7 +20,7 @@ from repro.crowd.worker import CheckerResponse
 from repro.ml.knn import KNearestNeighborsClassifier
 from repro.ml.logistic import SoftmaxRegressionClassifier
 from repro.ml.naive_bayes import MultinomialNaiveBayesClassifier
-from repro.pipeline.batch import ClaimBatchPredictions, PropertyBatch
+from repro.pipeline.batch import ClaimBatchPredictions
 from repro.pipeline.feature_store import ClaimFeatureStore
 from repro.planning.planner import QuestionPlanner
 from repro.translation.classifiers import (

@@ -12,7 +12,6 @@ from repro.errors import InfeasibleSelectionError
 from repro.planning.batching import BatchCandidate, ClaimSelection, select_claim_batch
 from repro.planning.engine import PlannerEngine, ScoreCache, dominance_prune
 from repro.planning.ilp import solve_claim_selection_ilp
-from repro.planning.planner import QuestionPlanner
 from repro.serving.server import AdmissionPolicy, VerificationServer
 
 

@@ -7,7 +7,7 @@ import pytest
 from repro.config import BatchingConfig, ScrutinizerConfig
 from repro.experiments import figure10, table1, table3
 from repro.simulation.results import SimulationSummary
-from repro.simulation.scenarios import SimulationScenario, default_scenario, small_scenario
+from repro.simulation.scenarios import SimulationScenario, default_scenario
 from repro.simulation.simulator import ReportSimulator
 from repro.synth.energy_data import EnergyDataConfig
 from repro.synth.report_generator import SyntheticCorpusConfig

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import SQLExecutionError, UnknownFunctionError
-from repro.sqlengine.functions import FUNCTION_LIBRARY, FunctionLibrary, SQLFunction
+from repro.sqlengine.functions import FUNCTION_LIBRARY, SQLFunction
 
 
 class TestBasicFunctions:
