@@ -7,11 +7,21 @@ benchmarks, and then calls this script once per tracked metric::
     python scripts/bench_compare.py baseline.json fresh.json \\
         --key batch_over_single_speedup --max-drop 0.25
 
-Exit codes: 0 when the fresh value is within the allowed drop (or has
-improved), 1 on a regression beyond ``--max-drop``, 2 on unusable inputs
-(missing file, missing key, non-numeric value).  The bench job stays
-``continue-on-error`` at the job level, so a regression marks the job
-red-but-advisory instead of blocking the merge.
+A second mode gates the *shape* of a metric series instead of one value:
+``--non-decreasing`` takes comma-separated dotted keys and fails when the
+fresh run's series inverts (each value must reach the previous one, give
+or take ``--tolerance``).  The serving gate uses it to keep the tenant
+scaling curve monotone::
+
+    python scripts/bench_compare.py baseline.json fresh.json \\
+        --non-decreasing tenants.1.claims_per_second,tenants.4.claims_per_second,tenants.16.claims_per_second
+
+Exit codes: 0 when the fresh value is within the allowed drop (or the
+series is monotone), 1 on a regression beyond ``--max-drop`` (or an
+inverted series), 2 on unusable inputs (missing file, missing key,
+non-numeric value).  The bench job stays ``continue-on-error`` at the job
+level, so a regression marks the job red-but-advisory instead of blocking
+the merge.
 """
 
 from __future__ import annotations
@@ -54,14 +64,57 @@ def _load_metric(path: Path, key: str) -> float:
     return float(value)
 
 
+def _check_non_decreasing(path: Path, keys: list[str], tolerance: float) -> int:
+    """Exit-code check that the series of ``keys`` in ``path`` is monotone.
+
+    Each value must reach at least ``(1 - tolerance)`` of its predecessor;
+    the series inverting beyond that is a regression (exit 1).
+    """
+    try:
+        values = [_load_metric(path, key) for key in keys]
+    except _UnusableInput as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        return 2
+    inversions = [
+        (keys[index - 1], values[index - 1], keys[index], values[index])
+        for index in range(1, len(values))
+        if values[index] < values[index - 1] * (1.0 - tolerance)
+    ]
+    series = ", ".join(
+        f"{key}={value:.3f}" for key, value in zip(keys, values)
+    )
+    if inversions:
+        for before_key, before, after_key, after in inversions:
+            print(
+                f"bench_compare [REGRESSION] curve inverts: {after_key} "
+                f"({after:.3f}) < {before_key} ({before:.3f}) beyond "
+                f"tolerance {tolerance:.0%}"
+            )
+        return 1
+    print(
+        f"bench_compare [OK] non-decreasing series ({series}) "
+        f"with tolerance {tolerance:.0%}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed baseline JSON")
     parser.add_argument("fresh", type=Path, help="freshly generated JSON")
-    parser.add_argument(
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
         "--key",
-        required=True,
         help="dotted path of the higher-is-better metric to compare",
+    )
+    mode.add_argument(
+        "--non-decreasing",
+        metavar="KEYS",
+        help=(
+            "comma-separated dotted paths forming a series that must be "
+            "monotone non-decreasing in the fresh run (the baseline file "
+            "is not consulted in this mode)"
+        ),
     )
     parser.add_argument(
         "--max-drop",
@@ -69,9 +122,25 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional drop below the baseline (default 0.25)",
     )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help=(
+            "fractional slack each series value may fall below its "
+            "predecessor in --non-decreasing mode (default 0, strict)"
+        ),
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.max_drop < 1.0:
         parser.error("--max-drop must be in [0, 1)")
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    if args.non_decreasing is not None:
+        keys = [key.strip() for key in args.non_decreasing.split(",") if key.strip()]
+        if len(keys) < 2:
+            parser.error("--non-decreasing needs at least two comma-separated keys")
+        return _check_non_decreasing(args.fresh, keys, args.tolerance)
 
     try:
         baseline = _load_metric(args.baseline, args.key)

@@ -15,8 +15,9 @@ intra-class race detector with two triggers:
   block.  Half-locked classes are worse than unlocked ones: the lock
   reads as a guarantee it does not give.
 * **Worker-reachable writes** — functions handed to ``<pool>.map(...)``
-  (and everything they call inside the same module, including ``self.``
-  methods and closures) run on executor threads.  A write to ``self._*``
+  or ``<pool>.submit(...)`` (and everything they call inside the same
+  module, including ``self.`` methods and closures) run on executor
+  threads.  A write to ``self._*``
   reached from there in a class *without* a lock is flagged too: either
   add a lock or keep worker functions free of shared-state writes.
 
@@ -209,8 +210,15 @@ class LockDisciplineRule(Rule):
                     )
 
 
+#: Pool methods whose first argument is a function that will run on an
+#: executor thread.  ``map`` is the barrier style; ``submit`` is the
+#: steal-pump style the serving scheduler and sharded runner dispatch with.
+_DISPATCH_METHODS = {"map", "submit"}
+
+
 def _worker_entry_points(tree: ast.Module) -> set[str]:
-    """Names of functions handed to ``<pool>.map(...)`` in this module.
+    """Names of functions handed to ``<pool>.map(...)`` or
+    ``<pool>.submit(...)`` in this module.
 
     The receiver is pool-like when its dotted name's last segment contains
     ``pool`` (``self._pool``, ``pool``, ``worker_pool``) — matching how
@@ -221,7 +229,7 @@ def _worker_entry_points(tree: ast.Module) -> set[str]:
         if not (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "map"
+            and node.func.attr in _DISPATCH_METHODS
             and node.args
         ):
             continue

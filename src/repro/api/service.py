@@ -41,8 +41,8 @@ from repro.crowd.worker import CheckerResponse, SimulatedChecker
 from repro.errors import ClaimError, InfeasibleSelectionError, SimulationError
 from repro.ml.base import Prediction
 from repro.pipeline.batch import ClaimBatchPredictions
-from repro.planning.batching import BatchCandidate
-from repro.planning.engine import PlannerEngine
+from repro.planning.batching import BatchCandidate, ClaimSelection
+from repro.planning.engine import FusionRequest, PlannerEngine
 from repro.planning.planner import QuestionPlanner
 from repro.translation.translator import ClaimTranslator
 
@@ -410,13 +410,54 @@ class VerificationService:
         self._emit("submitted")
         return self
 
-    def run_batch(self) -> BatchResult | None:
+    def planning_inputs(self) -> FusionRequest | None:
+        """This run's batch-selection problem, for a fused cross-tenant solve.
+
+        The serving scheduler collects one :class:`FusionRequest` per
+        runnable tenant and submits them together to
+        :meth:`~repro.planning.engine.PlannerEngine.plan_fused`; each
+        tenant's slice of the fused answer is then executed via
+        ``run_batch(selection=...)``.  The candidates come from the same
+        score-cache path :meth:`run_batch` itself uses, so a fused solve of
+        this request is claim-for-claim identical to the selection an
+        unfused ``run_batch`` would have computed.
+
+        Returns ``None`` whenever that exactness guarantee cannot be made —
+        nothing pending, no shared engine attached, a custom batch selector,
+        or the sequential baseline — in which case the caller must fall back
+        to a plain :meth:`run_batch`.
+        """
+        session = self._session
+        if session is None or session.is_complete:
+            return None
+        if self._planner_engine is None or self._engine_cache_key is None:
+            return None
+        selector = self.batch_selector
+        if not isinstance(selector, QuestionPlanner):
+            return None
+        if not selector.config.claim_ordering or selector.engine is not self._planner_engine:
+            return None
+        candidates = self._batch_candidates_cached(session.pending_claim_ids)
+        return FusionRequest(
+            key=self._engine_cache_key,
+            candidates=tuple(candidates),
+            section_read_costs=self._section_read_costs,
+            config=selector.config.batching,
+        )
+
+    def run_batch(self, selection: ClaimSelection | None = None) -> BatchResult | None:
         """Run one iteration of Algorithm 1; ``None`` when nothing is pending.
 
         One iteration selects the next claim batch, plans and collects the
         crowd's answers for every claim in it, retrains the classifiers on
         the newly verified claims, and measures classifier accuracy on the
         claims still pending.
+
+        ``selection`` short-circuits batch selection with a precomputed
+        :class:`~repro.planning.batching.ClaimSelection` — the fused-solve
+        handshake: the caller obtained :meth:`planning_inputs`, solved it
+        (typically fused with other tenants' requests) and hands the answer
+        back.  Every claim of the selection must still be pending.
         """
         session = self._session
         if session is None or session.is_complete:
@@ -425,7 +466,19 @@ class VerificationService:
         self._batch_index += 1
         planning_started = time.perf_counter()
         pending = session.pending_claim_ids
-        if self._planner_engine is not None:
+        if selection is not None:
+            not_pending = set(selection.claim_ids).difference(pending)
+            if not_pending:
+                raise ClaimError(
+                    "precomputed selection contains claims that are not "
+                    f"pending: {sorted(not_pending)[:5]!r}"
+                )
+            batch_predictions = self._predict_pending(selection.claim_ids)
+            if self._planner_engine is not None and self._engine_cache_key is not None:
+                self._planner_engine.score_cache(self._engine_cache_key).forget(
+                    selection.claim_ids
+                )
+        elif self._planner_engine is not None:
             # Engine path: scores come from the per-session cache (only
             # unscored claims are predicted); ranked predictions are then
             # materialized for the *selected* batch only, so planning work
@@ -721,12 +774,17 @@ class VerificationService:
         if not verified_claims:
             return
         truths = [self.corpus.ground_truth(claim.claim_id) for claim in verified_claims]
-        if self.translator.is_trained:
-            self.translator.retrain(list(verified_claims), truths)
-        else:
+        if not self.translator.is_trained and not getattr(
+            self.translator, "features_ready", False
+        ):
+            # Cold start with an unfitted feature pipeline: fit it on the
+            # corpus texts once.  A translator whose features are already
+            # fitted (the warm-template path every tenant session starts
+            # from) skips this — re-fitting the corpus featurizer here was
+            # the dominant per-tenant cost of the old serving cliff.
             claims = [self.corpus.claim(claim_id) for claim_id in self.corpus.claim_ids]
             self.translator.bootstrap(claims, truths=None, fit_features_only=True)
-            self.translator.retrain(list(verified_claims), truths)
+        self.translator.retrain(list(verified_claims), truths)
 
     # ------------------------------------------------------------------ #
     # accuracy tracking (Figures 8 and 9)

@@ -69,7 +69,13 @@ except ImportError:  # pragma: no cover - scipy is a hard dependency
     milp = None
     sparse = None
 
-__all__ = ["EngineStats", "PlannerEngine", "ScoreCache", "dominance_prune"]
+__all__ = [
+    "EngineStats",
+    "FusionRequest",
+    "PlannerEngine",
+    "ScoreCache",
+    "dominance_prune",
+]
 
 
 # --------------------------------------------------------------------------- #
@@ -200,6 +206,26 @@ class ScoreCache:
 
 
 # --------------------------------------------------------------------------- #
+# cross-tenant fusion
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FusionRequest:
+    """One tenant's batch-selection problem, submitted to a fused solve.
+
+    Tenant pools are disjoint decision spaces — each request carries its
+    own candidates, read costs and batching bounds — so the fused program
+    is block-separable and :meth:`PlannerEngine.plan_fused` is *exact*:
+    the returned selection matches an independent
+    :meth:`PlannerEngine.plan` for the same request claim-for-claim.
+    """
+
+    key: str
+    candidates: tuple[BatchCandidate, ...]
+    section_read_costs: Mapping[str, float]
+    config: BatchingConfig | None = None
+
+
+# --------------------------------------------------------------------------- #
 # the engine
 # --------------------------------------------------------------------------- #
 @dataclass
@@ -217,6 +243,13 @@ class EngineStats:
     scores_computed: int = 0
     scores_reused: int = 0
     score_invalidations: int = 0
+    #: Cross-tenant fusion: :meth:`PlannerEngine.plan_fused` calls made,
+    #: requests solved inside a fused pass, and requests that had to fall
+    #: back to an individual :meth:`PlannerEngine.plan` (cost-threshold
+    #: regime, where the per-tenant MILP cannot be folded into one pass).
+    fused_plans: int = 0
+    fused_requests: int = 0
+    fusion_fallbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -452,6 +485,165 @@ class PlannerEngine:
         chosen = sorted(int(kept[index]) for index in solution.selected_indices)
         return self._selection(candidates, chosen, section_read_costs, solver)
 
+    def plan_fused(self, requests: Sequence[FusionRequest]) -> list[ClaimSelection]:
+        """Solve many tenants' batch selections in one fused pass.
+
+        The serving scheduler collects the runnable small tenants of a
+        round and submits them together; tenant pools are disjoint, so the
+        union program is block-separable and the result is *exact* — each
+        returned :class:`~repro.planning.batching.ClaimSelection` equals an
+        independent :meth:`plan` of the same request claim-for-claim (the
+        ``solver`` tag is ``"engine-fused"``).
+
+        In the paper's default pinned-size regime (no cost threshold) the
+        fused pass concatenates every tenant's pool, computes all objective
+        weights vectorized, ranks the union pool with **one** sort, and
+        splits the ranking back per tenant for the per-section count DP —
+        one engine entry, one stats/lock acquisition and one sort instead
+        of per-tenant ones.  Requests under a genuine cost threshold keep
+        their per-tenant MILP (sharing the cross-tenant skeleton cache via
+        :meth:`plan`) and are counted as ``fusion_fallbacks``.
+
+        Selections are returned in request order.  Empty candidate pools
+        are infeasible here exactly as in :meth:`plan`.
+        """
+        selections: dict[int, ClaimSelection] = {}
+        fused: list[tuple[int, FusionRequest, BatchingConfig]] = []
+        fallback_positions: list[int] = []
+        for position, request in enumerate(requests):
+            config = request.config if request.config is not None else BatchingConfig()
+            check_batch_feasibility(len(request.candidates), config)
+            if config.cost_threshold is not None:
+                fallback_positions.append(position)
+            else:
+                fused.append((position, request, config))
+        for position in fallback_positions:
+            request = requests[position]
+            selections[position] = self.plan(
+                request.candidates, request.section_read_costs, config=request.config
+            )
+        if fused:
+            # (position, candidates, read-cost map, weights, sections,
+            #  read costs, max batch) for the requests that need the DP;
+            # trivially small pools short-circuit exactly like plan().
+            dp_entries: list[
+                tuple[
+                    int,
+                    Sequence[BatchCandidate],
+                    Mapping[str, float],
+                    np.ndarray,
+                    np.ndarray,
+                    np.ndarray,
+                    int,
+                ]
+            ] = []
+            total_claims = 0
+            for position, request, config in fused:
+                candidates = request.candidates
+                total_claims += len(candidates)
+                max_batch = min(config.max_batch_size, len(candidates))
+                weight = config.utility_weight if config.utility_weight > 0 else None
+                utilities = np.array(
+                    [candidate.training_utility for candidate in candidates],
+                    dtype=float,
+                )
+                if max_batch >= len(candidates):
+                    selections[position] = self._selection(
+                        candidates,
+                        range(len(candidates)),
+                        request.section_read_costs,
+                        "engine-fused",
+                    )
+                    continue
+                if weight is None:
+                    top = np.lexsort((np.arange(len(utilities)), -utilities))[
+                        :max_batch
+                    ]
+                    selections[position] = self._selection(
+                        candidates,
+                        sorted(int(index) for index in top),
+                        request.section_read_costs,
+                        "engine-fused",
+                    )
+                    continue
+                costs = np.array(
+                    [candidate.verification_cost for candidate in candidates],
+                    dtype=float,
+                )
+                section_ids = sorted(
+                    {candidate.section_id for candidate in candidates}
+                )
+                section_index = {
+                    section_id: index for index, section_id in enumerate(section_ids)
+                }
+                sections = np.array(
+                    [section_index[candidate.section_id] for candidate in candidates],
+                    dtype=np.int64,
+                )
+                read_costs = np.array(
+                    [
+                        request.section_read_costs.get(
+                            section_id, config.section_read_cost
+                        )
+                        for section_id in section_ids
+                    ],
+                    dtype=float,
+                )
+                dp_entries.append(
+                    (
+                        position,
+                        candidates,
+                        request.section_read_costs,
+                        costs - weight * utilities,
+                        sections,
+                        read_costs,
+                        max_batch,
+                    )
+                )
+            if dp_entries:
+                # One ranking of the union pool; within a tenant the global
+                # tie-break (ascending concatenation index) equals its local
+                # lowest-index tie-break, so each tenant's slice of this
+                # sort is exactly the order plan() would have computed.
+                weights_all = np.concatenate([entry[3] for entry in dp_entries])
+                owner = np.concatenate(
+                    [
+                        np.full(len(entry[3]), index, dtype=np.int64)
+                        for index, entry in enumerate(dp_entries)
+                    ]
+                )
+                local_index = np.concatenate(
+                    [np.arange(len(entry[3]), dtype=np.int64) for entry in dp_entries]
+                )
+                global_order = np.lexsort(
+                    (np.arange(len(weights_all)), weights_all)
+                )
+                ranked_owner = owner[global_order]
+                ranked_local = local_index[global_order]
+                for index, entry in enumerate(dp_entries):
+                    position, candidates, read_cost_map, weights = entry[:4]
+                    sections, read_costs, max_batch = entry[4:]
+                    chosen, _ = self._solve_pinned_dp(
+                        weights,
+                        sections,
+                        read_costs,
+                        max_batch,
+                        order=ranked_local[ranked_owner == index],
+                    )
+                    selections[position] = self._selection(
+                        candidates, chosen, read_cost_map, "engine-fused"
+                    )
+        if fused or fallback_positions:
+            self.record(
+                plans=len(fused),
+                claims_seen=sum(len(request.candidates) for _, request, _ in fused),
+                direct_solves=len(fused),
+                fused_plans=1,
+                fused_requests=len(fused),
+                fusion_fallbacks=len(fallback_positions),
+            )
+        return [selections[position] for position in range(len(requests))]
+
     # ------------------------------------------------------------------ #
     # exact DP for the pinned-size regime (one count variable per section)
     # ------------------------------------------------------------------ #
@@ -461,6 +653,7 @@ class PlannerEngine:
         claim_sections: np.ndarray,
         section_read_costs: np.ndarray,
         batch: int,
+        order: np.ndarray | None = None,
     ) -> tuple[list[int], float]:
         """Choose exactly ``batch`` claims minimising ``sum w_i`` plus one
         read cost per opened section.
@@ -471,9 +664,14 @@ class PlannerEngine:
         section's read cost when ``k > 0``.  Exactly the Definition 9
         optimum because, for a fixed per-section count, the cheapest claims
         of that section are always the right ones.
+
+        ``order`` is the (weight asc, index asc) ranking of the claims;
+        when the caller already sorted a fused super-pool it passes each
+        tenant's slice of that one global sort instead of re-sorting.
         """
         infinity = float("inf")
-        order = np.lexsort((np.arange(len(weights)), weights))
+        if order is None:
+            order = np.lexsort((np.arange(len(weights)), weights))
         best = np.full(batch + 1, infinity)
         best[0] = 0.0
         members_by_section: list[np.ndarray] = []

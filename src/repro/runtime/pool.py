@@ -10,15 +10,35 @@ single pool instead of each spinning up their own executors per call:
 the server hands its pool to embedded runners, and repeated scheduling
 rounds reuse the same threads instead of paying pool startup per round.
 
-The pool is lazy (no executor exists until the first :meth:`map`) and
-reusable (``close()`` only happens explicitly or via the context manager),
-which is what a long-lived serving process needs.
+The pool is lazy (no executor exists until the first task) and reusable
+(``close()`` only happens explicitly or via the context manager), which is
+what a long-lived serving process needs.
+
+Two consumption styles are supported:
+
+* :meth:`map` — the barrier style: every task completes before any result
+  is seen.  Right for shard fan-out where the merge needs all shards.
+* :meth:`submit` / :meth:`wait_any` / :meth:`drain` — the steal-friendly
+  style: callers observe completions *as they happen* and can hand freed
+  workers new tasks immediately.  The serving scheduler uses this to keep
+  the pool saturated instead of waiting on a round barrier; the sharded
+  runner uses :meth:`submit` + :meth:`drain` so both components share one
+  dispatch vocabulary.  On the ``"serial"`` kind :meth:`submit` runs the
+  task inline and returns an already-resolved future, so single-threaded
+  runs stay deterministic.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from typing import TypeVar
 
 from repro.errors import ConfigurationError
@@ -63,6 +83,14 @@ class WorkerPool:
     def is_open(self) -> bool:
         return not self._closed
 
+    @property
+    def width(self) -> int | None:
+        """How many tasks can genuinely overlap (1 for serial, ``None``
+        when the executor default decides)."""
+        if self.kind == "serial":
+            return 1
+        return self.max_workers
+
     def _ensure_executor(self) -> Executor:
         if self._closed:
             raise ConfigurationError("the worker pool has been closed")
@@ -87,6 +115,55 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
+    def submit(
+        self, fn: Callable[..., _ResultT], /, *args: object
+    ) -> "Future[_ResultT]":
+        """Dispatch one task; returns its future.
+
+        On the ``"serial"`` kind the task runs inline on the caller's
+        thread and the returned future is already resolved — completion
+        order equals submission order, so serial scheduling stays fully
+        deterministic while consumers keep one code path.
+        """
+        if self._closed:
+            raise ConfigurationError("the worker pool has been closed")
+        if self.kind == "serial":
+            future: Future[_ResultT] = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as error:  # noqa: BLE001 - mirrored to future
+                future.set_exception(error)
+            return future
+        return self._ensure_executor().submit(fn, *args)
+
+    @staticmethod
+    def wait_any(
+        futures: Iterable["Future[_ResultT]"],
+    ) -> tuple[set["Future[_ResultT]"], set["Future[_ResultT]"]]:
+        """Block until at least one future completes: ``(done, pending)``.
+
+        The steal primitive: a scheduler waits on its in-flight set, books
+        whatever finished, and immediately hands the freed workers new
+        work.  Serial futures are born resolved, so this never blocks on
+        the serial kind.
+        """
+        pending = list(futures)
+        if not pending:
+            return set(), set()
+        done, not_done = wait(pending, return_when=FIRST_COMPLETED)
+        return set(done), set(not_done)
+
+    @staticmethod
+    def drain(futures: Sequence["Future[_ResultT]"]) -> list[_ResultT]:
+        """Results of ``futures`` in submission order (blocking).
+
+        The barrier-style companion of :meth:`submit`: fan out with
+        ``submit``, then ``drain`` when every result is needed together
+        (the sharded runner's merge step).  Exceptions re-raise here, on
+        the caller's thread.
+        """
+        return [future.result() for future in futures]
+
     def map(
         self,
         fn: Callable[[_TaskT], _ResultT],
@@ -103,4 +180,4 @@ class WorkerPool:
             raise ConfigurationError("the worker pool has been closed")
         if self.kind == "serial" or len(items) <= 1:
             return [fn(item) for item in items]
-        return list(self._ensure_executor().map(fn, items))
+        return self.drain([self.submit(fn, item) for item in items])

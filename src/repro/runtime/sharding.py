@@ -403,15 +403,22 @@ class ShardedVerificationRunner:
         precompleted: Sequence[ShardResult] = (),
     ) -> ShardedRunResult:
         started = time.perf_counter()
+        # Shards fan out through the same submit/drain vocabulary the
+        # serving scheduler steals work with; the merge below needs every
+        # shard, so the runner drains in submission order (a barrier).
         if not tasks:
             outcomes: list[_ShardOutcome] = []
         elif self._shared_pool is not None:
-            outcomes = self._shared_pool.map(_execute_shard, tasks)
+            outcomes = self._shared_pool.drain(
+                [self._shared_pool.submit(_execute_shard, task) for task in tasks]
+            )
         else:
             with WorkerPool(
                 self.executor, max_workers=min(self.max_workers, len(tasks))
             ) as pool:
-                outcomes = pool.map(_execute_shard, tasks)
+                outcomes = pool.drain(
+                    [pool.submit(_execute_shard, task) for task in tasks]
+                )
         executed = [
             ShardResult(
                 shard_index=outcome.shard_index,

@@ -8,10 +8,14 @@ per tenant — against a shared corpus and a shared
 * :mod:`repro.serving.server` — the server: a bounded session registry
   keyed by tenant id, an :class:`~repro.serving.server.AdmissionPolicy`
   (registry bound, per-tenant pending-claim quotas, bounded submission
-  queue with backpressure), a fair round-based scheduler multiplexing
-  ``run_batch`` calls across sessions, and LRU passivation of idle
-  sessions to :class:`~repro.runtime.snapshot.ServiceSnapshot` checkpoints
+  queue with backpressure), a work-stealing deadline-bounded scheduler
+  multiplexing ``run_batch`` calls across sessions with cross-tenant
+  planner fusion, and queue-pressure-driven passivation of idle sessions
+  to :class:`~repro.runtime.snapshot.ServiceSnapshot` checkpoints
   (rehydrated transparently on the tenant's next request).
+* :mod:`repro.serving.scheduler` — the scheduling policy itself:
+  weighted-deficit fairness with a hard anti-starvation deadline,
+  decoupled from server bookkeeping so it is independently testable.
 * :mod:`repro.serving.workloads` — scenario-driven mixed tenant traffic:
   bursty submitters, steady streamers and resume-after-crash tenants,
   generated deterministically and drivable against any server.
@@ -23,6 +27,7 @@ claims/sec and p95 batch latency at 1/4/16 concurrent tenants in
 ``BENCH_serving_throughput.json``.
 """
 
+from repro.serving.scheduler import RoundDecision, SchedulerConfig, TenantScheduler
 from repro.serving.server import (
     AdmissionPolicy,
     ServerStats,
@@ -45,8 +50,11 @@ from repro.serving.workloads import (
 __all__ = [
     "AdmissionPolicy",
     "CrashEvent",
+    "RoundDecision",
     "SCENARIO_KINDS",
+    "SchedulerConfig",
     "ServerStats",
+    "TenantScheduler",
     "ServerStatus",
     "ServingWorkload",
     "SubmissionEvent",

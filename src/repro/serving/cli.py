@@ -4,8 +4,11 @@ Two verbs over the deterministic synthetic workload:
 
 ``run``
     Generate a corpus, script mixed tenant traffic across ``--tenants``
-    tenants (bursty / steady / resume-after-crash scenarios), and serve it
-    with admission control::
+    tenants (bursty / steady / resume-after-crash scenarios — or
+    Zipf-skewed bursts with ``--zipf``), and serve it with admission
+    control.  The summary reports p50/p95/p99 batch latency and the
+    work-stealing scheduler's counters (steals, deadline boosts, fused
+    rounds)::
 
         python -m repro.serving run --claims 120 --tenants 8 \\
             --max-resident 4 --snapshot-dir ./tenants --report summary.json
@@ -31,6 +34,7 @@ from repro.serving.server import AdmissionPolicy, VerificationServer
 from repro.serving.workloads import (
     SCENARIO_KINDS,
     build_workload,
+    build_zipf_workload,
     drive_workload,
     percentile,
 )
@@ -72,12 +76,20 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         max_pending_claims_per_tenant=args.quota,
         max_queued_submissions=args.queue_limit,
     )
-    workload = build_workload(
-        corpus.claim_ids,
-        tenant_count=args.tenants,
-        seed=args.seed,
-        mix=tuple(args.mix.split(",")),
-    )
+    if args.zipf is not None:
+        workload = build_zipf_workload(
+            corpus.claim_ids,
+            tenant_count=args.tenants,
+            seed=args.seed,
+            exponent=args.zipf,
+        )
+    else:
+        workload = build_workload(
+            corpus.claim_ids,
+            tenant_count=args.tenants,
+            seed=args.seed,
+            mix=tuple(args.mix.split(",")),
+        )
     with VerificationServer(
         corpus,
         config,
@@ -104,7 +116,15 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     )
     print(
         f"batch latency p50 {percentile(latencies, 50) * 1000.0:.1f}ms, "
-        f"p95 {percentile(latencies, 95) * 1000.0:.1f}ms",
+        f"p95 {percentile(latencies, 95) * 1000.0:.1f}ms, "
+        f"p99 {percentile(latencies, 99) * 1000.0:.1f}ms",
+        file=out,
+    )
+    fusion_rate = stats.fused_batches / stats.batches if stats.batches else 0.0
+    print(
+        f"scheduler: {stats.steals} steals, {stats.deadline_boosts} deadline "
+        f"boosts, {stats.fused_rounds} fused rounds "
+        f"({stats.fused_batches} batches, {fusion_rate:.0%} fusion hit rate)",
         file=out,
     )
     for scenario in workload.scenarios:
@@ -124,10 +144,19 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             "rounds": result.rounds,
             "wall_seconds": result.wall_seconds,
             "claims_per_second": result.claims_per_second,
+            "p50_batch_latency_seconds": percentile(latencies, 50),
             "p95_batch_latency_seconds": percentile(latencies, 95),
+            "p99_batch_latency_seconds": percentile(latencies, 99),
             "deferred_submissions": result.deferred_submissions,
             "evictions": stats.evictions,
             "rehydrations": stats.rehydrations,
+            "scheduler": {
+                "steals": stats.steals,
+                "deadline_boosts": stats.deadline_boosts,
+                "fused_rounds": stats.fused_rounds,
+                "fused_batches": stats.fused_batches,
+                "fusion_hit_rate": fusion_rate,
+            },
             "by_tenant": {
                 scenario.tenant_id: {
                     "kind": scenario.kind,
@@ -203,6 +232,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mix",
         default=",".join(SCENARIO_KINDS),
         help="comma-separated scenario mix cycled across tenants",
+    )
+    run.add_argument(
+        "--zipf",
+        type=float,
+        default=None,
+        metavar="EXPONENT",
+        help=(
+            "replace the scenario mix with Zipf-skewed bursty traffic at "
+            "this exponent (hot tenants get most claims; claims are shared "
+            "across tenants)"
+        ),
     )
     run.add_argument(
         "--snapshot-dir",

@@ -5,8 +5,15 @@ serving layer: many tenants submit claims against a shared corpus, each
 tenant gets its own isolated :class:`~repro.api.service.VerificationService`
 (own translator, own feature store, own RNG streams — seeded per tenant,
 so runs are deterministic and tenants cannot observe each other), and a
-round-based scheduler multiplexes ``run_batch`` calls across the resident
-sessions over one shared :class:`~repro.runtime.pool.WorkerPool`.
+work-stealing, deadline-aware scheduler
+(:class:`~repro.serving.scheduler.TenantScheduler`) multiplexes
+``run_batch`` calls across the resident sessions over one shared
+:class:`~repro.runtime.pool.WorkerPool`: runnable tenants accrue
+weighted-deficit credit, a freed worker immediately takes the round's
+next tenant instead of idling behind a barrier, and the scheduled
+tenants' batch selections are fused into a single
+:meth:`~repro.planning.engine.PlannerEngine.plan_fused` solve (exact —
+each tenant gets the same batch an independent solve would pick).
 
 Admission control (:class:`AdmissionPolicy`) bounds every resource the
 server holds:
@@ -51,9 +58,11 @@ from repro.errors import (
     ServingError,
     UnknownTenantError,
 )
+from repro.planning.batching import ClaimSelection
 from repro.planning.engine import PlannerEngine
 from repro.runtime.pool import WorkerPool
 from repro.runtime.snapshot import ServiceSnapshot, SnapshotStore
+from repro.serving.scheduler import SchedulerConfig, TenantScheduler
 
 __all__ = [
     "AdmissionPolicy",
@@ -151,6 +160,15 @@ class _TenantRecord:
     evictions: int = 0
     rehydrations: int = 0
     last_scheduled_round: int = -1
+    #: Batches this tenant ran on a worker freed mid-round (no barrier).
+    steals: int = 0
+    #: Rounds spent runnable but without a slot, total and worst streak.
+    wait_rounds_total: int = 0
+    wait_rounds_max: int = 0
+    #: Times the deadline bound forced this tenant to the front.
+    deadline_boosts: int = 0
+    #: Batches whose selection came out of a fused cross-tenant solve.
+    fused_batches: int = 0
 
     @property
     def resident(self) -> bool:
@@ -173,6 +191,14 @@ class ServerStats:
     rehydrations: int = 0
     rejected_submissions: int = 0
     peak_resident: int = 0
+    #: Batches dispatched to a worker freed mid-round (steal pump refills).
+    steals: int = 0
+    #: Times a tenant hit the deadline bound and jumped the queue.
+    deadline_boosts: int = 0
+    #: Rounds that ran a fused cross-tenant planner solve, and how many
+    #: tenant batches those fused solves selected.
+    fused_rounds: int = 0
+    fused_batches: int = 0
 
 
 @dataclass(frozen=True)
@@ -189,12 +215,24 @@ class TenantStatus:
     batches_run: int
     evictions: int
     rehydrations: int
+    steals: int = 0
+    wait_rounds_total: int = 0
+    wait_rounds_max: int = 0
+    deadline_boosts: int = 0
+    fused_batches: int = 0
 
     @property
     def is_complete(self) -> bool:
         return self.submitted_claims > 0 and self.pending_claims == 0 and (
             self.queued_claims == 0
         )
+
+    @property
+    def fusion_hit_rate(self) -> float:
+        """Share of this tenant's batches selected by a fused solve."""
+        if self.batches_run == 0:
+            return 0.0
+        return self.fused_batches / self.batches_run
 
 
 @dataclass(frozen=True)
@@ -220,6 +258,11 @@ class TenantBatchOutcome:
     #: Wall-clock seconds this batch took inside the worker (planning,
     #: simulated crowd, retraining) — the per-batch serving latency.
     wall_seconds: float
+    #: Whether a freed worker picked this batch up mid-round (a steal)
+    #: rather than the round's initial dispatch wave.
+    stolen: bool = False
+    #: Whether the batch's selection came from a fused cross-tenant solve.
+    fused: bool = False
 
 
 # ---------------------------------------------------------------------- #
@@ -257,7 +300,13 @@ class VerificationServer:
         every tenant session the server runs.  The engine's constraint-
         skeleton cache is shared across tenants; per-claim score caches are
         keyed by tenant id, so they survive passivation and rehydration and
-        tenants never see each other's scores.
+        tenants never see each other's scores.  When omitted and the
+        scheduler has planner fusion on (the default), the server creates
+        its own shared engine — cross-tenant fusion needs one.
+    scheduler:
+        The :class:`~repro.serving.scheduler.SchedulerConfig` of the
+        work-stealing tenant scheduler (fairness pressure, starvation
+        deadline, planner-fusion knobs).
     """
 
     def __init__(
@@ -272,6 +321,7 @@ class VerificationServer:
         system_name: str = "Serving",
         pool: WorkerPool | None = None,
         planner_engine: PlannerEngine | None = None,
+        scheduler: SchedulerConfig | None = None,
     ) -> None:
         if pool is None and executor not in _SERVER_EXECUTORS:
             raise ConfigurationError(
@@ -298,6 +348,10 @@ class VerificationServer:
                 ),
             )
         )
+        self.scheduler_config = scheduler if scheduler is not None else SchedulerConfig()
+        self._scheduler = TenantScheduler(self.scheduler_config)
+        if planner_engine is None and self.scheduler_config.fuse_planning:
+            planner_engine = PlannerEngine()
         self._planner_engine = planner_engine
         self._tenants: dict[str, _TenantRecord] = {}
         self._queue: deque[_Submission] = deque()
@@ -488,9 +542,13 @@ class VerificationServer:
         return record.parked_snapshot
 
     def _evict_lru(self, excess: int, keep: set[str]) -> None:
-        """Passivate ``excess`` unprotected residents, least useful first:
-        idle sessions before ones with pending work, then by how long ago
-        they were last scheduled."""
+        """Passivate ``excess`` unprotected residents, least useful first.
+
+        Ranking is queue-pressure driven rather than pure LRU: idle
+        sessions go before ones with pending work, light backlogs before
+        heavy ones (a heavy tenant is the most likely next schedule, so
+        passivating it would just buy a rehydration), and only then by how
+        long ago a session was last scheduled."""
         if excess <= 0:
             return
         evictable = [
@@ -501,6 +559,7 @@ class VerificationServer:
         evictable.sort(
             key=lambda candidate: (
                 candidate.has_pending_work,
+                candidate.pending_claims + candidate.queued_claims,
                 candidate.last_scheduled_round,
                 candidate.admission_index,
             )
@@ -602,28 +661,83 @@ class VerificationServer:
             record.queued_claims = max(0, record.queued_claims - len(submission.claim_ids))
             record.submitted_claims += len(submission.claim_ids)
 
+    def _fused_selections(
+        self, scheduled: Sequence[_TenantRecord]
+    ) -> dict[str, ClaimSelection]:
+        """One shared planner solve for the round's fusable tenants.
+
+        Collects each scheduled tenant's
+        :meth:`~repro.api.service.VerificationService.planning_inputs`
+        (``None`` means that tenant cannot be fused exactly — custom
+        selector, sequential baseline, nothing pending) and solves them
+        with a single
+        :meth:`~repro.planning.engine.PlannerEngine.plan_fused` call.
+        Returns ``tenant_id -> ClaimSelection`` for the fused tenants;
+        everyone else runs its own in-batch solve as before.  Fusion is
+        exact, so this only changes *where* selection happens, never what
+        is selected.
+        """
+        if self._planner_engine is None or not self.scheduler_config.fuse_planning:
+            return {}
+        limit = self.scheduler_config.max_fused_pool
+        owners: list[str] = []
+        requests = []
+        for record in scheduled:
+            service = record.service
+            if service is None:  # pragma: no cover - residents ensured upstream
+                continue
+            request = service.planning_inputs()
+            if request is None:
+                continue
+            if limit is not None and len(request.candidates) > limit:
+                continue
+            owners.append(record.tenant_id)
+            requests.append(request)
+        if len(requests) < 2:
+            # Nothing cross-tenant to share; the tenant's own run_batch
+            # path solves it with identical results and fewer moving parts.
+            return {}
+        selections = self._planner_engine.plan_fused(requests)
+        self.stats.fused_rounds += 1
+        return dict(zip(owners, selections))
+
     def run_round(self) -> list[TenantBatchOutcome]:
-        """Run one scheduling round: drain the queue, then one batch for
-        up to ``max_resident_sessions`` tenants (fair, least-recently-
-        scheduled first), concurrently on the worker pool.
+        """Run one scheduling round without a barrier.
+
+        Drains the queue, asks the :class:`~repro.serving.scheduler.
+        TenantScheduler` for up to ``max_resident_sessions`` tenants
+        (weighted-deficit fair, deadline-bounded), fuses their batch
+        selections into one shared planner solve, then pumps the batches
+        through the pool with ``submit``/``wait_any``: every completion
+        immediately hands the freed worker the round's next tenant (a
+        *steal*) instead of waiting for the whole wave.
 
         Tenants whose sessions are passivated but still have pending
         claims are rehydrated before running.  Returns the batch outcomes
-        of this round (empty when the server is idle).
+        of this round in completion order (empty when the server is idle).
         """
         if self._closed:
             raise ServingError("the server is closed")
         self._drain_queue()
-        ready = [
+        runnable = [
             record for record in self._tenants.values() if record.pending_claims > 0
         ]
-        ready.sort(
-            key=lambda record: (record.last_scheduled_round, record.admission_index)
-        )
-        scheduled = ready[: self.policy.max_resident_sessions]
-        if not scheduled:
+        if not runnable:
             return []
         self._round += 1
+        decision = self._scheduler.select(
+            runnable, min(len(runnable), self.policy.max_resident_sessions)
+        )
+        scheduled = [self._tenants[tenant_id] for tenant_id in decision.scheduled]
+        for tenant_id in decision.deadline_boosted:
+            self._tenants[tenant_id].deadline_boosts += 1
+            self.stats.deadline_boosts += 1
+        for tenant_id in decision.waiting:
+            record = self._tenants[tenant_id]
+            record.wait_rounds_total += 1
+            record.wait_rounds_max = max(
+                record.wait_rounds_max, self._scheduler.waiting_rounds(tenant_id)
+            )
         protected = tuple(record.tenant_id for record in scheduled)
         for record in scheduled:
             # Residency only changes between rounds, never while workers
@@ -632,27 +746,61 @@ class VerificationServer:
             record.last_scheduled_round = self._round
         self._evict_over_capacity(protected=protected)
         self.stats.peak_resident = max(self.stats.peak_resident, self.resident_count)
+        selections = self._fused_selections(scheduled)
 
-        def _run_one(record: _TenantRecord) -> tuple[str, BatchResult | None, float]:
+        def _run_one(
+            record: _TenantRecord,
+        ) -> tuple[str, BatchResult | None, float]:
             started = time.perf_counter()
             assert record.service is not None
-            result = record.service.run_batch()
+            result = record.service.run_batch(
+                selection=selections.get(record.tenant_id)
+            )
             return record.tenant_id, result, time.perf_counter() - started
 
+        # The steal pump: fill the pool, then refill every freed slot from
+        # the remainder of the schedule as completions arrive.  Dispatch
+        # order is the scheduler's; completion order is the pool's.
+        width = self._pool.width or len(scheduled)
+        backlog = deque(scheduled)
+        in_flight: dict[object, tuple[str, bool]] = {}
+        initial_wave = True
         outcomes: list[TenantBatchOutcome] = []
-        for tenant_id, result, wall in self._pool.map(_run_one, scheduled):
-            record = self._tenants[tenant_id]
-            if result is None:
-                record.pending_claims = 0
-                continue
-            record.batches_run += 1
-            record.verified_claims += result.batch_size
-            record.pending_claims = result.pending_after
-            self.stats.batches += 1
-            self.stats.claims_verified += result.batch_size
-            outcomes.append(
-                TenantBatchOutcome(tenant_id=tenant_id, result=result, wall_seconds=wall)
-            )
+        while backlog or in_flight:
+            while backlog and len(in_flight) < max(1, width):
+                record = backlog.popleft()
+                future = self._pool.submit(_run_one, record)
+                in_flight[future] = (record.tenant_id, not initial_wave)
+            initial_wave = False
+            done, _ = WorkerPool.wait_any(list(in_flight))
+            for future in done:
+                tenant_id, stolen = in_flight.pop(future)
+                result_tenant_id, result, wall = future.result()
+                record = self._tenants[result_tenant_id]
+                if stolen:
+                    record.steals += 1
+                    self.stats.steals += 1
+                if result is None:
+                    record.pending_claims = 0
+                    continue
+                fused = result_tenant_id in selections
+                if fused:
+                    record.fused_batches += 1
+                    self.stats.fused_batches += 1
+                record.batches_run += 1
+                record.verified_claims += result.batch_size
+                record.pending_claims = result.pending_after
+                self.stats.batches += 1
+                self.stats.claims_verified += result.batch_size
+                outcomes.append(
+                    TenantBatchOutcome(
+                        tenant_id=result_tenant_id,
+                        result=result,
+                        wall_seconds=wall,
+                        stolen=stolen,
+                        fused=fused,
+                    )
+                )
         self.stats.rounds += 1
         return outcomes
 
@@ -713,6 +861,11 @@ class VerificationServer:
             batches_run=record.batches_run,
             evictions=record.evictions,
             rehydrations=record.rehydrations,
+            steals=record.steals,
+            wait_rounds_total=record.wait_rounds_total,
+            wait_rounds_max=record.wait_rounds_max,
+            deadline_boosts=record.deadline_boosts,
+            fused_batches=record.fused_batches,
         )
 
     def status(self) -> ServerStatus:

@@ -37,6 +37,7 @@ __all__ = [
     "TenantScenario",
     "WorkloadRunResult",
     "build_workload",
+    "build_zipf_workload",
     "drive_workload",
     "percentile",
 ]
@@ -190,6 +191,78 @@ def build_workload(
         scenarios=tuple(scenarios),
         submissions=tuple(submissions),
         crashes=tuple(crashes),
+        seed=seed,
+    )
+
+
+def build_zipf_workload(
+    claim_ids: Sequence[str],
+    *,
+    tenant_count: int,
+    seed: int = 0,
+    exponent: float = 1.1,
+    total_claims: int | None = None,
+) -> ServingWorkload:
+    """Script Zipf-skewed bursty traffic over a shared claim population.
+
+    Real multi-tenant traffic is heavy-tailed: a few hot tenants submit
+    most of the work while a long tail submits a claim or two.  Tenant at
+    popularity rank ``r`` receives a share proportional to
+    ``1 / r**exponent`` of ``total_claims`` submissions (at least one
+    each), drawn *with reuse across tenants* from ``claim_ids`` — distinct
+    tenants may check the same claim, which is exactly the serving
+    scenario (sessions are isolated; only the corpus is shared).  Every
+    tenant submits as one burst at a staggered arrival round, so large
+    tenant counts produce the thundering-herd admission pattern the
+    scheduler's fairness and passivation pressure are built for.
+
+    ``total_claims`` defaults to ``max(len(claim_ids), tenant_count)``.
+    The same inputs always produce the same script.
+    """
+    if tenant_count < 1:
+        raise ConfigurationError("tenant_count must be at least 1")
+    if not claim_ids:
+        raise ConfigurationError("a workload needs at least one claim")
+    if exponent <= 0:
+        raise ConfigurationError("the Zipf exponent must be positive")
+    population = tuple(dict.fromkeys(claim_ids))
+    budget = (
+        total_claims
+        if total_claims is not None
+        else max(len(population), tenant_count)
+    )
+    if budget < tenant_count:
+        raise ConfigurationError(
+            "total_claims must give every tenant at least one claim"
+        )
+    rng = np.random.default_rng(seed)
+    shares = np.array(
+        [1.0 / (rank + 1) ** exponent for rank in range(tenant_count)]
+    )
+    shares /= shares.sum()
+    counts = np.maximum(1, np.floor(shares * budget).astype(int))
+    counts = np.minimum(counts, len(population))
+    scenarios: list[TenantScenario] = []
+    submissions: list[SubmissionEvent] = []
+    for index in range(tenant_count):
+        tenant_id = f"tenant-{index:03d}"
+        drawn = rng.choice(len(population), size=int(counts[index]), replace=False)
+        allotted = tuple(population[int(position)] for position in sorted(drawn))
+        scenarios.append(
+            TenantScenario(tenant_id=tenant_id, kind="bursty", claim_ids=allotted)
+        )
+        submissions.append(
+            SubmissionEvent(
+                round_index=int(rng.integers(0, 4)),
+                tenant_id=tenant_id,
+                claim_ids=allotted,
+            )
+        )
+    submissions.sort(key=lambda event: (event.round_index, event.tenant_id))
+    return ServingWorkload(
+        scenarios=tuple(scenarios),
+        submissions=tuple(submissions),
+        crashes=(),
         seed=seed,
     )
 

@@ -88,6 +88,18 @@ class ClaimTranslator:
     def is_trained(self) -> bool:
         return self._suite.is_trained
 
+    @property
+    def features_ready(self) -> bool:
+        """Whether the feature pipeline is fitted (classifiers may not be).
+
+        A translator bootstrapped with ``fit_features_only=True`` — the
+        warm-template path every tenant session starts from — is not yet
+        *trained*, but its featurizer needs no further fitting: the first
+        retrain can feed the classifiers directly instead of re-fitting
+        the corpus featurizer from scratch.
+        """
+        return self._preprocessor.is_fitted
+
     def bootstrap(
         self,
         claims: Sequence[Claim],

@@ -243,6 +243,31 @@ class TestLockDiscipline:
             "lock-discipline:worker-write:Server.run.<_run_one>._done"
         ]
 
+    def test_flags_worker_write_dispatched_via_submit(self, tmp_path):
+        # The steal pump dispatches with submit/wait_any instead of map;
+        # functions handed to <pool>.submit run on executors all the same.
+        violations = check(
+            tmp_path,
+            LockDisciplineRule(),
+            {"serving/server.py": """
+                class Server:
+                    def __init__(self, pool):
+                        self._pool = pool
+                        self._done = []
+                    def run(self, items):
+                        futures = []
+                        def _run_one(item):
+                            self._done.append(item)
+                            return item
+                        for item in items:
+                            futures.append(self._pool.submit(_run_one, item))
+                        return [future.result() for future in futures]
+            """},
+        )
+        assert [v.key for v in violations] == [
+            "lock-discipline:worker-write:Server.run.<_run_one>._done"
+        ]
+
     def test_scheduler_thread_writes_in_lockless_class_pass(self, tmp_path):
         # Writes in the enclosing method (scheduler thread) are fine; only
         # the closure handed to the pool runs on executors.
@@ -291,6 +316,20 @@ class TestLayering:
             {"text/model.py": "from repro.serving.server import VerificationServer\n"},
         )
         assert [v.key for v in violations] == ["layering:upward:text->serving"]
+
+    def test_scheduler_module_sits_in_the_serving_layer(self, tmp_path):
+        # repro.serving.scheduler is covered by the serving prefix: an
+        # upward import from below it is flagged, and the scheduler
+        # importing downward (errors) passes.
+        violations = check(
+            tmp_path,
+            LayeringRule(),
+            {
+                "runtime/pool.py": "from repro.serving.scheduler import TenantScheduler\n",
+                "serving/scheduler.py": "from repro.errors import ConfigurationError\n",
+            },
+        )
+        assert [v.key for v in violations] == ["layering:upward:runtime->serving"]
 
     def test_passes_downward_and_type_checking_imports(self, tmp_path):
         violations = check(

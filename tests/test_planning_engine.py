@@ -10,7 +10,12 @@ from repro.api.service import VerificationService
 from repro.config import BatchingConfig, ScrutinizerConfig
 from repro.errors import InfeasibleSelectionError
 from repro.planning.batching import BatchCandidate, ClaimSelection, select_claim_batch
-from repro.planning.engine import PlannerEngine, ScoreCache, dominance_prune
+from repro.planning.engine import (
+    FusionRequest,
+    PlannerEngine,
+    ScoreCache,
+    dominance_prune,
+)
 from repro.planning.ilp import solve_claim_selection_ilp
 from repro.serving.server import AdmissionPolicy, VerificationServer
 
@@ -411,3 +416,138 @@ class TestServingIntegration:
         # score caches keyed by tenant id.
         assert engine.stats.plans >= 2
         assert set(engine.score_cache_keys) >= {"alpha", "beta"}
+
+
+# --------------------------------------------------------------------------- #
+# cross-tenant fusion
+# --------------------------------------------------------------------------- #
+def _fusion_request(instance, utility_weight, key):
+    utilities, costs, sections, reads, max_batch = instance
+    return FusionRequest(
+        key=key,
+        candidates=tuple(_candidates(utilities, costs, sections)),
+        section_read_costs={f"sec{j:02d}": reads[j] for j in range(len(reads))},
+        config=BatchingConfig(
+            min_batch_size=1,
+            max_batch_size=max_batch,
+            utility_weight=utility_weight,
+        ),
+    )
+
+
+class TestFusedPlanning:
+    """``plan_fused`` must equal per-request ``plan`` claim-for-claim.
+
+    Tenant pools are disjoint, so the fused program is block-separable:
+    the one global ranking restricted to a tenant is exactly the local
+    ranking ``plan`` would compute, tie-breaks included.  These tests pin
+    that exactness — any drift between the fused path and the solo path
+    silently changes which claims a fused serving round verifies.
+    """
+
+    def test_fused_matches_per_request_plans(self):
+        rng = np.random.default_rng(21)
+        requests = []
+        for index, weight in enumerate([0.0, 0.5, 1.3, 5.0]):
+            size = int(rng.integers(4, 14))
+            instance = (
+                rng.uniform(0.0, 5.0, size).tolist(),
+                rng.uniform(0.5, 60.0, size).tolist(),
+                rng.integers(0, 3, size).tolist(),
+                rng.uniform(0.0, 40.0, 3).tolist(),
+                int(rng.integers(1, size + 1)),
+            )
+            requests.append(_fusion_request(instance, weight, key=f"tenant-{index}"))
+        fused = PlannerEngine().plan_fused(requests)
+        assert len(fused) == len(requests)
+        for request, selection in zip(requests, fused):
+            solo = PlannerEngine().plan(
+                request.candidates, request.section_read_costs, config=request.config
+            )
+            assert selection.claim_ids == solo.claim_ids
+            assert selection.total_cost == pytest.approx(solo.total_cost)
+            assert selection.total_utility == pytest.approx(solo.total_utility)
+            assert selection.solver == "engine-fused"
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(_instances(), st.sampled_from([0.0, 0.7, 5.0])),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    def test_fused_exactness_property(self, drawn):
+        """Random tenant mixes: fused and solo selections are identical."""
+        requests = [
+            _fusion_request(instance, weight, key=f"tenant-{index}")
+            for index, (instance, weight) in enumerate(drawn)
+        ]
+        fused = PlannerEngine().plan_fused(requests)
+        for request, selection in zip(requests, fused):
+            solo = PlannerEngine().plan(
+                request.candidates, request.section_read_costs, config=request.config
+            )
+            assert selection.claim_ids == solo.claim_ids
+
+    def test_threshold_requests_fall_back_to_solo_plans(self):
+        """A cost threshold breaks the pinned-size DP's preconditions, so
+        that request solves solo (and is counted) while the rest fuse."""
+        rng = np.random.default_rng(5)
+        instance = (
+            rng.uniform(0.0, 5.0, 8).tolist(),
+            rng.uniform(0.5, 60.0, 8).tolist(),
+            rng.integers(0, 2, 8).tolist(),
+            rng.uniform(0.0, 40.0, 2).tolist(),
+            4,
+        )
+        fused_request = _fusion_request(instance, 1.0, key="pinned")
+        threshold_request = FusionRequest(
+            key="thresholded",
+            candidates=fused_request.candidates,
+            section_read_costs=fused_request.section_read_costs,
+            config=BatchingConfig(
+                min_batch_size=0,
+                max_batch_size=4,
+                cost_threshold=120.0,
+                utility_weight=2.0,
+            ),
+        )
+        engine = PlannerEngine()
+        selections = engine.plan_fused([fused_request, threshold_request])
+        assert selections[0].solver == "engine-fused"
+        assert selections[1].solver != "engine-fused"
+        solo = PlannerEngine().plan(
+            threshold_request.candidates,
+            threshold_request.section_read_costs,
+            config=threshold_request.config,
+        )
+        assert selections[1].claim_ids == solo.claim_ids
+        assert engine.stats.fused_plans == 1
+        assert engine.stats.fused_requests == 1
+        assert engine.stats.fusion_fallbacks == 1
+
+    def test_fused_stats_count_one_fused_plan(self):
+        rng = np.random.default_rng(11)
+        requests = []
+        for index in range(3):
+            size = int(rng.integers(4, 10))
+            instance = (
+                rng.uniform(0.0, 5.0, size).tolist(),
+                rng.uniform(0.5, 60.0, size).tolist(),
+                rng.integers(0, 2, size).tolist(),
+                rng.uniform(0.0, 40.0, 2).tolist(),
+                int(rng.integers(1, size + 1)),
+            )
+            requests.append(_fusion_request(instance, 1.0, key=f"tenant-{index}"))
+        engine = PlannerEngine()
+        engine.plan_fused(requests)
+        assert engine.stats.fused_plans == 1
+        assert engine.stats.fused_requests == 3
+        assert engine.stats.fusion_fallbacks == 0
+        assert engine.stats.plans == 3
+
+    def test_empty_request_list_is_a_no_op(self):
+        engine = PlannerEngine()
+        assert engine.plan_fused([]) == []
+        assert engine.stats.fused_plans == 0

@@ -10,6 +10,7 @@ from repro.serving.server import AdmissionPolicy, VerificationServer
 from repro.serving.workloads import (
     SCENARIO_KINDS,
     build_workload,
+    build_zipf_workload,
     drive_workload,
 )
 from repro.synth.energy_data import EnergyDataConfig
@@ -159,4 +160,70 @@ def test_drive_workload_retries_backpressured_submissions(workload_corpus):
     result = drive_workload(server, workload)
     assert result.deferred_submissions > 0
     assert result.verified_count == workload.claim_count
+    server.close()
+
+
+# ---------------------------------------------------------------------- #
+# zipf generation
+# ---------------------------------------------------------------------- #
+def test_zipf_workload_is_deterministic_and_heavy_tailed(workload_corpus):
+    first = build_zipf_workload(
+        workload_corpus.claim_ids, tenant_count=8, seed=7, total_claims=60
+    )
+    second = build_zipf_workload(
+        workload_corpus.claim_ids, tenant_count=8, seed=7, total_claims=60
+    )
+    assert first == second
+    assert first.tenant_count == 8
+    counts = [scenario.claim_count for scenario in first.scenarios]
+    # Rank 0 is the hot tenant; the tail still gets at least one claim.
+    assert counts[0] == max(counts)
+    assert counts == sorted(counts, reverse=True)
+    assert min(counts) >= 1
+    # Claims are drawn with reuse across tenants but never within one.
+    for scenario in first.scenarios:
+        assert len(set(scenario.claim_ids)) == len(scenario.claim_ids)
+        assert set(scenario.claim_ids) <= set(workload_corpus.claim_ids)
+    # Bursty arrivals land in the thundering-herd window.
+    assert all(0 <= event.round_index < 4 for event in first.submissions)
+    assert not first.crashes
+
+
+def test_zipf_workload_validation(workload_corpus):
+    with pytest.raises(ConfigurationError):
+        build_zipf_workload(workload_corpus.claim_ids, tenant_count=0)
+    with pytest.raises(ConfigurationError):
+        build_zipf_workload([], tenant_count=2)
+    with pytest.raises(ConfigurationError):
+        build_zipf_workload(workload_corpus.claim_ids, tenant_count=2, exponent=0.0)
+    with pytest.raises(ConfigurationError):
+        # The budget cannot give every tenant its guaranteed claim.
+        build_zipf_workload(
+            workload_corpus.claim_ids, tenant_count=8, total_claims=4
+        )
+
+
+def test_zipf_more_tenants_than_claims_still_serves_everyone():
+    workload = build_zipf_workload(["c1", "c2", "c3"], tenant_count=6, seed=2)
+    assert workload.tenant_count == 6
+    assert all(scenario.claim_count >= 1 for scenario in workload.scenarios)
+
+
+def test_drive_zipf_workload_verifies_every_submission(workload_corpus):
+    """Shared claims verify once per *tenant*: sessions are isolated."""
+    workload = build_zipf_workload(
+        workload_corpus.claim_ids, tenant_count=6, seed=3, total_claims=48
+    )
+    server = VerificationServer(
+        workload_corpus,
+        _config(),
+        policy=AdmissionPolicy(max_resident_sessions=3, max_queued_submissions=24),
+        executor="serial",
+    )
+    result = drive_workload(server, workload)
+    assert result.verified_count == workload.claim_count
+    for scenario in workload.scenarios:
+        assert result.verified_by_tenant[scenario.tenant_id] == tuple(
+            sorted(scenario.claim_ids)
+        )
     server.close()
