@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-runtime bench-serving bench-planner coverage lint lint-invariants typecheck check
+.PHONY: test bench bench-quick bench-runtime bench-serving bench-planner bench-gateway coverage lint lint-invariants typecheck check
 
 # Tier-1 verification: the full unit + benchmark suite, fail-fast.
 test:
@@ -33,6 +33,12 @@ bench-serving:
 # repository root (CI uploads it).
 bench-planner:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_planner_scaling.py -q
+
+# Gateway end-to-end throughput benchmark (NDJSON wire + journal fsync in
+# the ack path) in its reduced configuration; writes
+# BENCH_gateway_throughput.json at the repository root (CI uploads it).
+bench-gateway:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_gateway_throughput.py -q
 
 # Coverage gate over the unit suite (pytest-cov): fails below COV_FLOOR
 # percent line coverage of src/repro and writes an HTML report to

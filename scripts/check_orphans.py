@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Fail when gateway processes (or their sockets) outlive the test suite.
+
+CI runs this with ``if: always()`` after the gateway e2e job: a
+``python -m repro.gateway`` process still alive at that point means a
+test leaked a subprocess — the suite's teardown guarantees are broken
+even if every assertion passed.  Exit codes: 0 clean, 1 orphans found,
+0 with a notice on platforms without ``/proc`` (the check is
+Linux-CI-shaped by design).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+def _is_gateway(argv: list[str]) -> bool:
+    """True for ``python [...] -m repro.gateway ...`` processes only.
+
+    Matching whole argv tokens (not substrings of the joined command
+    line) keeps shells and editors whose command text merely *mentions*
+    the module from tripping the check.
+    """
+    if not argv or "python" not in Path(argv[0]).name:
+        return False
+    for index, arg in enumerate(argv[:-1]):
+        if arg == "-m" and argv[index + 1] == "repro.gateway":
+            return True
+    return False
+
+
+def find_orphans() -> list[tuple[int, str]]:
+    """``(pid, cmdline)`` for every live gateway process."""
+    proc = Path("/proc")
+    if not proc.is_dir():
+        return []
+    me = os.getpid()
+    orphans: list[tuple[int, str]] = []
+    for entry in proc.iterdir():
+        if not entry.name.isdigit():
+            continue
+        pid = int(entry.name)
+        if pid == me:
+            continue
+        try:
+            raw = (entry / "cmdline").read_bytes()
+        except OSError:
+            continue  # the process exited while we scanned
+        argv = [arg for arg in raw.decode("utf-8", "replace").split("\x00") if arg]
+        if _is_gateway(argv):
+            orphans.append((pid, " ".join(argv)))
+    return orphans
+
+
+def main() -> int:
+    if not Path("/proc").is_dir():
+        print("check_orphans: no /proc on this platform; skipping")
+        return 0
+    orphans = find_orphans()
+    if orphans:
+        print(f"check_orphans: {len(orphans)} orphaned gateway process(es):")
+        for pid, cmdline in orphans:
+            print(f"  pid {pid}: {cmdline}")
+        return 1
+    print("check_orphans: no gateway processes left behind")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

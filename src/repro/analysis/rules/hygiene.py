@@ -86,7 +86,16 @@ class WallClockRule(Rule):
         "run happens — so resume and cross-run comparisons stay exact"
     )
 
-    def __init__(self, allow_modules: Sequence[str] = ("repro.crowd.timing",)) -> None:
+    def __init__(
+        self,
+        allow_modules: Sequence[str] = (
+            "repro.crowd.timing",
+            # The journal stamps records with a wall-clock ``ts`` as
+            # operator metadata only — replay neither orders nor decides
+            # by it, so determinism is untouched.
+            "repro.gateway.journal",
+        ),
+    ) -> None:
         self.allow_modules = tuple(allow_modules)
 
     def check_module(self, module: Module, index: ProjectIndex) -> Iterable[Violation]:

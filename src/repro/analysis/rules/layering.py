@@ -54,6 +54,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "runtime": 11,
     "simulation": 11,
     "serving": 12,
+    "gateway": 13,
     "experiments": 13,
 }
 

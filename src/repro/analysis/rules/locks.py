@@ -63,7 +63,7 @@ def _is_lock_attr(name: str) -> bool:
     return name == "_lock" or name.endswith("_lock")
 
 
-def _with_locks(node: ast.With) -> bool:
+def _with_locks(node: ast.With | ast.AsyncWith) -> bool:
     for item in node.items:
         attr = self_attribute(item.context_expr)
         if attr is not None and _is_lock_attr(attr):
@@ -91,6 +91,17 @@ class _WriteCollector(ast.NodeVisitor):
         self.unguarded: list[tuple[str, ast.AST, str]] = []
 
     def visit_With(self, node: ast.With) -> None:
+        if _with_locks(node):
+            self.lock_depth += 1
+            self.generic_visit(node)
+            self.lock_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        # ``async with self._lock:`` (asyncio.Lock) guards exactly like
+        # the sync spelling; before this visitor existed, coroutine
+        # bodies could never satisfy the rule.
         if _with_locks(node):
             self.lock_depth += 1
             self.generic_visit(node)
@@ -158,6 +169,7 @@ class LockDisciplineRule(Rule):
             "repro.serving",
             "repro.runtime",
             "repro.planning.engine",
+            "repro.gateway",
         ),
     ) -> None:
         self.scope_prefixes = tuple(scope_prefixes)
@@ -217,26 +229,34 @@ _DISPATCH_METHODS = {"map", "submit"}
 
 
 def _worker_entry_points(tree: ast.Module) -> set[str]:
-    """Names of functions handed to ``<pool>.map(...)`` or
-    ``<pool>.submit(...)`` in this module.
+    """Names of functions handed to an executor in this module.
 
-    The receiver is pool-like when its dotted name's last segment contains
-    ``pool`` (``self._pool``, ``pool``, ``worker_pool``) — matching how
-    every call site in the runtime and serving layers names its pools.
+    Three dispatch idioms are recognized:
+
+    * ``<pool>.map(fn, ...)`` / ``<pool>.submit(fn, ...)`` — the receiver
+      is pool-like when its dotted name's last segment contains ``pool``
+      (``self._pool``, ``pool``, ``worker_pool``), matching how every
+      call site in the runtime and serving layers names its pools;
+    * ``<loop>.run_in_executor(executor, fn, ...)`` — the asyncio bridge
+      the gateway's coroutines use; the function is the *second*
+      argument.  Before this was recognized, writes in executor-bound
+      functions dispatched from ``async def`` bodies were invisible to
+      the rule.
     """
     roots: set[str] = set()
     for node in ast.walk(tree):
-        if not (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in _DISPATCH_METHODS
-            and node.args
-        ):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
             continue
-        receiver = dotted_name(node.func.value)
-        if receiver is None or "pool" not in receiver.split(".")[-1].lower():
+        handed: ast.expr | None = None
+        if node.func.attr in _DISPATCH_METHODS and node.args:
+            receiver = dotted_name(node.func.value)
+            if receiver is None or "pool" not in receiver.split(".")[-1].lower():
+                continue
+            handed = node.args[0]
+        elif node.func.attr == "run_in_executor" and len(node.args) >= 2:
+            handed = node.args[1]
+        if handed is None:
             continue
-        handed = node.args[0]
         name = dotted_name(handed)
         if name is not None:
             roots.add(name.rsplit(".", 1)[-1])

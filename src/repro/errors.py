@@ -142,3 +142,24 @@ class AdmissionError(ServingError):
 
 class BackpressureError(AdmissionError):
     """The submission queue is full; the caller should retry later."""
+
+
+class GatewayError(ReproError):
+    """Problems in the network gateway in front of the serving layer."""
+
+
+class ProtocolError(GatewayError):
+    """A wire frame could not be encoded or decoded."""
+
+
+class JournalError(GatewayError):
+    """Problems writing or reading the write-ahead submission journal."""
+
+
+class JournalCorruptionError(JournalError):
+    """A journal segment is damaged beyond the recoverable cases.
+
+    The scanner tolerates truncated tails and CRC-mismatched records by
+    skipping and counting them; this error is reserved for callers that
+    ask for strict reads (``scan_journal(..., strict=True)``).
+    """

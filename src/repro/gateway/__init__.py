@@ -1,0 +1,37 @@
+"""Network front door for the multi-tenant verification server.
+
+``repro.gateway`` turns the in-process :class:`~repro.serving.server.
+VerificationServer` into a real serving process:
+
+* a stdlib-``asyncio`` TCP server speaking newline-delimited JSON
+  (:mod:`repro.gateway.protocol`) with admission control and
+  load-shedding at the edge,
+* a write-ahead submission journal (:mod:`repro.gateway.journal`) that
+  makes every ack durable *before* the client sees it, and
+* a recovery path (``adopt_tenants()`` from snapshots, then journal
+  replay) that survives ``SIGKILL`` with zero acked submissions lost.
+
+``python -m repro.gateway serve|replay|status`` is the operational
+surface; :mod:`repro.gateway.client` is the asyncio client used by the
+workload driver, the e2e kill-and-replay test and the throughput
+benchmark.
+"""
+
+from repro.gateway.journal import (
+    JournalRecord,
+    JournalScan,
+    JournalWriter,
+    scan_journal,
+)
+from repro.gateway.server import GatewayServer, GatewayStats, RecoveryReport, recover_server
+
+__all__ = [
+    "GatewayServer",
+    "GatewayStats",
+    "JournalRecord",
+    "JournalScan",
+    "JournalWriter",
+    "RecoveryReport",
+    "recover_server",
+    "scan_journal",
+]

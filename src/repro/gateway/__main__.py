@@ -1,0 +1,8 @@
+"""``python -m repro.gateway`` dispatches to :mod:`repro.gateway.cli`."""
+
+import sys
+
+from repro.gateway.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,257 @@
+"""Asyncio client for the gateway, plus the scripted workload driver.
+
+:class:`GatewayClient` correlates request/response frames by
+``request_id`` and funnels asynchronously streamed ``result`` /
+``complete`` frames into a queue; error frames re-raise the same
+:mod:`repro.errors` exceptions the in-process server would have thrown,
+so retry loops written against :class:`~repro.serving.server.
+VerificationServer` port over unchanged.
+
+:func:`drive_workload_through_gateway` replays a
+:class:`~repro.serving.workloads.ServingWorkload` script over the wire —
+the network twin of :func:`repro.serving.workloads.drive_workload` —
+and is what the e2e kill-and-replay test and the throughput benchmark
+drive traffic with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import BackpressureError, GatewayError, ReproError, UnknownTenantError
+from repro.gateway.protocol import decode_frame, encode_frame, exception_for_error
+from repro.serving.workloads import ServingWorkload
+
+__all__ = ["GatewayClient", "GatewayWorkloadResult", "drive_workload_through_gateway"]
+
+
+class GatewayClient:
+    """One NDJSON connection to a gateway."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[str, asyncio.Future] = {}
+        self._results: asyncio.Queue = asyncio.Queue()
+        self._next_request = 0
+        self._reader_task: asyncio.Task | None = None
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "GatewayClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=1 << 20)
+        client = cls(reader, writer)
+        client._reader_task = asyncio.create_task(client._read_loop())
+        return client
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                except ReproError:
+                    continue
+                request_id = frame.get("request_id")
+                if isinstance(request_id, str) and request_id in self._pending:
+                    waiter = self._pending.pop(request_id)
+                    if waiter.done():
+                        continue
+                    if frame.get("type") == "error":
+                        waiter.set_exception(exception_for_error(frame))
+                    else:
+                        waiter.set_result(frame)
+                elif frame.get("type") in ("result", "complete"):
+                    await self._results.put(frame)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            for waiter in self._pending.values():
+                if not waiter.done():
+                    waiter.set_exception(GatewayError("connection closed"))
+            self._pending.clear()
+            await self._results.put(None)
+
+    async def _request(self, frame: dict, *, timeout: float = 60.0) -> dict:
+        if self._closed:
+            raise GatewayError("client is closed")
+        self._next_request += 1
+        request_id = str(self._next_request)
+        frame = {**frame, "request_id": request_id}
+        waiter = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = waiter
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+        return await asyncio.wait_for(waiter, timeout)
+
+    async def submit(
+        self,
+        tenant_id: str,
+        claim_ids,
+        *,
+        max_retries: int = 0,
+        retry_delay: float = 0.05,
+        timeout: float = 60.0,
+    ) -> dict:
+        """Submit claims; optionally retry typed backpressure sheds."""
+        attempt = 0
+        while True:
+            try:
+                return await self._request(
+                    {"type": "submit", "tenant_id": tenant_id, "claim_ids": list(claim_ids)},
+                    timeout=timeout,
+                )
+            except BackpressureError:
+                if attempt >= max_retries:
+                    raise
+                attempt += 1
+                await asyncio.sleep(retry_delay * attempt)
+
+    async def subscribe(self, tenant_id: str, *, timeout: float = 60.0) -> dict:
+        return await self._request(
+            {"type": "subscribe", "tenant_id": tenant_id}, timeout=timeout
+        )
+
+    async def report(self, tenant_id: str, *, timeout: float = 120.0) -> dict:
+        return await self._request(
+            {"type": "report", "tenant_id": tenant_id}, timeout=timeout
+        )
+
+    async def status(self, *, timeout: float = 60.0) -> dict:
+        return await self._request({"type": "status"}, timeout=timeout)
+
+    async def evict(self, tenant_id: str, *, timeout: float = 120.0) -> dict:
+        return await self._request({"type": "evict", "tenant_id": tenant_id}, timeout=timeout)
+
+    async def next_result(self, *, timeout: float = 60.0) -> dict | None:
+        """Next streamed ``result``/``complete`` frame; None once closed."""
+        return await asyncio.wait_for(self._results.get(), timeout)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self._request({"type": "bye"}, timeout=5.0)
+        except (ReproError, OSError, asyncio.TimeoutError):
+            pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+@dataclass
+class GatewayWorkloadResult:
+    """What a scripted run over the wire observed."""
+
+    submissions: int = 0
+    accepted_claims: int = 0
+    duplicate_claims: int = 0
+    deferred_submissions: int = 0
+    evictions: int = 0
+    wall_seconds: float = 0.0
+    ack_latencies: list[float] = field(default_factory=list)
+    #: tenant → {claim_id: verdict} assembled from streamed result frames.
+    verdicts_by_tenant: dict[str, dict[str, bool | None]] = field(default_factory=dict)
+
+    @property
+    def result_count(self) -> int:
+        return sum(len(verdicts) for verdicts in self.verdicts_by_tenant.values())
+
+
+async def drive_workload_through_gateway(
+    workload: ServingWorkload,
+    host: str,
+    port: int,
+    *,
+    max_retries: int = 64,
+    collect_results: bool = True,
+    result_timeout: float = 300.0,
+) -> GatewayWorkloadResult:
+    """Replay a workload script against a live gateway.
+
+    Submissions run in script order (ack-confirmed one at a time, so the
+    journal order is deterministic for a given workload); crash events
+    become ``evict`` frames — over the wire, a crash drill is "passivate
+    the tenant and keep going".  With ``collect_results`` the driver then
+    consumes streamed frames until every submitted claim has a verdict.
+    """
+    outcome = GatewayWorkloadResult()
+    expected: dict[str, set[str]] = {}
+    started = time.perf_counter()
+    async with await GatewayClient.connect(host, port) as client:
+        events = sorted(
+            workload.submissions, key=lambda event: (event.round_index, event.tenant_id)
+        )
+        crashes = sorted(
+            workload.crashes, key=lambda event: (event.round_index, event.tenant_id)
+        )
+        crash_cursor = 0
+        for event in events:
+            while (
+                crash_cursor < len(crashes)
+                and crashes[crash_cursor].round_index <= event.round_index
+            ):
+                crash = crashes[crash_cursor]
+                crash_cursor += 1
+                try:
+                    await client.evict(crash.tenant_id)
+                    outcome.evictions += 1
+                except (UnknownTenantError, GatewayError):
+                    pass
+            submit_started = time.perf_counter()
+            try:
+                ack = await client.submit(
+                    event.tenant_id, event.claim_ids, max_retries=max_retries
+                )
+            except BackpressureError:
+                outcome.deferred_submissions += 1
+                continue
+            outcome.ack_latencies.append(time.perf_counter() - submit_started)
+            outcome.submissions += 1
+            outcome.accepted_claims += int(ack.get("accepted", 0))
+            outcome.duplicate_claims += int(ack.get("duplicates", 0))
+            expected.setdefault(event.tenant_id, set()).update(event.claim_ids)
+        if collect_results:
+            for tenant_id in expected:
+                outcome.verdicts_by_tenant.setdefault(tenant_id, {})
+            remaining = {
+                tenant_id: set(claims) for tenant_id, claims in expected.items() if claims
+            }
+            while remaining:
+                frame = await client.next_result(timeout=result_timeout)
+                if frame is None:
+                    raise GatewayError(
+                        f"connection closed with results outstanding: "
+                        f"{ {t: len(c) for t, c in remaining.items()} }"
+                    )
+                if frame.get("type") != "result":
+                    continue
+                tenant_id = frame.get("tenant_id")
+                claim_id = frame.get("claim_id")
+                if tenant_id not in remaining or not isinstance(claim_id, str):
+                    continue
+                outcome.verdicts_by_tenant[tenant_id][claim_id] = frame.get("verdict")
+                remaining[tenant_id].discard(claim_id)
+                if not remaining[tenant_id]:
+                    del remaining[tenant_id]
+    outcome.wall_seconds = time.perf_counter() - started
+    return outcome

@@ -1,0 +1,142 @@
+"""Newline-delimited JSON wire protocol for the gateway.
+
+One frame per line, each a single JSON object with a ``type`` field.
+Client → server frames: ``submit``, ``subscribe``, ``report``,
+``status``, ``evict``, ``bye``.  Server → client frames: ``ack``,
+``error``, ``result``, ``complete``, ``report``, ``status``,
+``evicted``, ``bye``.  Request/response frames echo the client's
+``request_id``; ``result``/``complete`` frames are streamed
+asynchronously to every connection subscribed to the tenant.
+
+Load-shedding is expressed as typed ``error`` frames instead of
+unbounded queuing::
+
+    {"type": "error", "request_id": "1", "code": "backpressure",
+     "retryable": true, "message": "submission backlog is full"}
+
+``code`` maps onto the :mod:`repro.errors` serving taxonomy so the
+asyncio client can re-raise the same exception the in-process caller
+would have seen.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+from repro.errors import (
+    AdmissionError,
+    BackpressureError,
+    ClaimError,
+    GatewayError,
+    ProtocolError,
+    ReproError,
+    UnknownTenantError,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "decode_frame",
+    "encode_frame",
+    "error_code_for",
+    "error_frame",
+    "exception_for_error",
+]
+
+#: A single NDJSON line (including the trailing newline) may not exceed
+#: this; longer submissions must be split by the client.
+MAX_FRAME_BYTES = 1 << 20
+
+ERROR_BACKPRESSURE = "backpressure"
+ERROR_ADMISSION = "admission"
+ERROR_UNKNOWN_CLAIM = "unknown-claim"
+ERROR_UNKNOWN_TENANT = "unknown-tenant"
+ERROR_BAD_FRAME = "bad-frame"
+ERROR_SERVER_CLOSED = "server-closed"
+ERROR_INTERNAL = "internal"
+
+#: code → (exception type, retryable)
+ERROR_CODES: dict[str, tuple[type[ReproError], bool]] = {
+    ERROR_BACKPRESSURE: (BackpressureError, True),
+    ERROR_ADMISSION: (AdmissionError, False),
+    ERROR_UNKNOWN_CLAIM: (ClaimError, False),
+    ERROR_UNKNOWN_TENANT: (UnknownTenantError, False),
+    ERROR_BAD_FRAME: (ProtocolError, False),
+    ERROR_SERVER_CLOSED: (GatewayError, True),
+    ERROR_INTERNAL: (GatewayError, False),
+}
+
+
+def encode_frame(frame: Mapping) -> bytes:
+    """Serialize one frame to an NDJSON line."""
+    try:
+        line = json.dumps(dict(frame), separators=(",", ":"), sort_keys=True)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"unencodable frame: {error}") from error
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(data)} bytes (max {MAX_FRAME_BYTES})")
+    return data
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one NDJSON line into a frame dict, validating the envelope."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(line)} bytes (max {MAX_FRAME_BYTES})")
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame must be a JSON object")
+    kind = frame.get("type")
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError("frame missing string 'type'")
+    return frame
+
+
+def error_frame(
+    code: str,
+    message: str,
+    *,
+    request_id: str | None = None,
+    retryable: bool | None = None,
+) -> dict:
+    """Build a typed ``error`` frame; ``retryable`` defaults by code."""
+    if retryable is None:
+        retryable = ERROR_CODES.get(code, (GatewayError, False))[1]
+    frame = {"type": "error", "code": code, "message": message, "retryable": retryable}
+    if request_id is not None:
+        frame["request_id"] = request_id
+    return frame
+
+
+def error_code_for(error: ReproError) -> str:
+    """The wire code the gateway sheds ``error`` with (most specific wins)."""
+    if isinstance(error, BackpressureError):
+        return ERROR_BACKPRESSURE
+    if isinstance(error, UnknownTenantError):
+        return ERROR_UNKNOWN_TENANT
+    if isinstance(error, AdmissionError):
+        return ERROR_ADMISSION
+    if isinstance(error, ClaimError):
+        return ERROR_UNKNOWN_CLAIM
+    if isinstance(error, ProtocolError):
+        return ERROR_BAD_FRAME
+    if isinstance(error, GatewayError):
+        return ERROR_SERVER_CLOSED
+    return ERROR_INTERNAL
+
+
+def exception_for_error(frame: Mapping) -> ReproError:
+    """Reconstruct the taxonomy exception a server ``error`` frame names."""
+    code = frame.get("code", ERROR_INTERNAL)
+    message = frame.get("message", "gateway error")
+    if code == ERROR_UNKNOWN_TENANT:
+        tenant = frame.get("tenant_id")
+        if isinstance(tenant, str):
+            return UnknownTenantError(tenant)
+        return AdmissionError(message)
+    exc_type = ERROR_CODES.get(code, (GatewayError, False))[0]
+    return exc_type(f"[{code}] {message}")

@@ -224,6 +224,21 @@ class ServiceSnapshot:
     def is_complete(self) -> bool:
         return self.pending_count == 0
 
+    @property
+    def verdicts(self) -> dict[str, bool | None]:
+        """``{claim_id: verdict}`` for every verification in the session.
+
+        The gateway's offline ``replay``/``status`` verbs use this to
+        build verdict maps from passivated tenants without rehydrating a
+        full service.
+        """
+        if self.session is None:
+            return {}
+        return {
+            str(entry["claim_id"]): entry.get("verdict")  # type: ignore[union-attr]
+            for entry in self.session["verifications"]  # type: ignore[index]
+        }
+
     # ------------------------------------------------------------------ #
     # (de)serialization
     # ------------------------------------------------------------------ #

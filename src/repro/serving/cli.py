@@ -41,11 +41,16 @@ from repro.serving.workloads import (
 from repro.synth.energy_data import EnergyDataConfig
 from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
 
-__all__ = ["main"]
+__all__ = ["main", "workload_corpus"]
 
 
-def _workload_corpus(claim_count: int, seed: int):
-    """The same deterministic synthetic workload the runtime CLI serves."""
+def workload_corpus(claim_count: int, seed: int):
+    """The deterministic synthetic corpus every serving surface shares.
+
+    Public because the gateway CLI and the e2e kill-and-replay test must
+    rebuild byte-identical corpora from ``(claim_count, seed)`` alone —
+    the gateway journal's manifest records exactly these two numbers.
+    """
     return generate_corpus(
         SyntheticCorpusConfig(
             claim_count=claim_count,
@@ -63,7 +68,7 @@ def _workload_corpus(claim_count: int, seed: int):
 
 
 def _cmd_run(args: argparse.Namespace, out) -> int:
-    corpus = _workload_corpus(args.claims, args.seed)
+    corpus = workload_corpus(args.claims, args.seed)
     config = ScrutinizerConfig(
         checker_count=3,
         options_per_property=10,

@@ -501,6 +501,19 @@ class VerificationServer:
         record.queued_claims += len(fresh)
         return len(fresh)
 
+    def flush_submissions(self) -> None:
+        """Move every queued submission onto its tenant record now.
+
+        Normally the queue drains at the next :meth:`run_round`; recovery
+        paths (gateway journal replay) call this between resubmissions so
+        an arbitrarily long acked backlog never trips the
+        ``max_queued_submissions`` bound that exists to shed *live*
+        traffic.
+        """
+        if self._closed:
+            raise ServingError("the server is closed")
+        self._drain_queue()
+
     # ------------------------------------------------------------------ #
     # session residency
     # ------------------------------------------------------------------ #

@@ -268,6 +268,69 @@ class TestLockDiscipline:
             "lock-discipline:worker-write:Server.run.<_run_one>._done"
         ]
 
+    def test_async_with_lock_guards_coroutine_writes(self, tmp_path):
+        # ``async with self._lock:`` (asyncio.Lock) satisfies the rule the
+        # same way the sync spelling does; before visit_AsyncWith existed,
+        # coroutine bodies could never count as guarded.
+        violations = check(
+            tmp_path,
+            LockDisciplineRule(),
+            {"gateway/conn.py": """
+                import asyncio
+
+                class Conn:
+                    def __init__(self):
+                        self._lock = asyncio.Lock()
+                        self._sent = 0
+                    async def send(self, frame):
+                        async with self._lock:
+                            self._sent += 1
+            """},
+        )
+        assert violations == []
+
+    def test_flags_unguarded_write_in_async_method(self, tmp_path):
+        violations = check(
+            tmp_path,
+            LockDisciplineRule(),
+            {"gateway/conn.py": """
+                import asyncio
+
+                class Conn:
+                    def __init__(self):
+                        self._lock = asyncio.Lock()
+                        self._sent = 0
+                    async def send(self, frame):
+                        self._sent += 1
+            """},
+        )
+        assert [v.key for v in violations] == [
+            "lock-discipline:unguarded:Conn.send._sent"
+        ]
+
+    def test_flags_worker_write_dispatched_via_run_in_executor(self, tmp_path):
+        # The gateway bridges its coroutines onto the engine thread with
+        # loop.run_in_executor(executor, fn); fn is the *second* argument,
+        # and its writes run off the event loop just like pool workers.
+        violations = check(
+            tmp_path,
+            LockDisciplineRule(),
+            {"gateway/server.py": """
+                class Gateway:
+                    def __init__(self, engine):
+                        self._engine = engine
+                        self._rounds = []
+                    async def pump(self, loop):
+                        def _step():
+                            self._rounds.append(1)
+                            return len(self._rounds)
+                        return await loop.run_in_executor(self._engine, _step)
+            """},
+        )
+        assert [v.key for v in violations] == [
+            "lock-discipline:worker-write:Gateway.pump.<_step>._rounds"
+        ]
+
     def test_scheduler_thread_writes_in_lockless_class_pass(self, tmp_path):
         # Writes in the enclosing method (scheduler thread) are fine; only
         # the closure handed to the pool runs on executors.
@@ -330,6 +393,19 @@ class TestLayering:
             },
         )
         assert [v.key for v in violations] == ["layering:upward:runtime->serving"]
+
+    def test_gateway_sits_above_serving(self, tmp_path):
+        # The network front door wraps the serving engine: gateway may
+        # import serving, never the reverse.
+        violations = check(
+            tmp_path,
+            LayeringRule(),
+            {
+                "serving/server.py": "from repro.gateway.server import GatewayServer\n",
+                "gateway/server.py": "from repro.serving.server import VerificationServer\n",
+            },
+        )
+        assert [v.key for v in violations] == ["layering:upward:serving->gateway"]
 
     def test_passes_downward_and_type_checking_imports(self, tmp_path):
         violations = check(
@@ -435,6 +511,47 @@ class TestHygiene:
         assert sorted(v.key for v in violations) == [
             "wall-clock:wall-clock:datetime.datetime.now",
             "wall-clock:wall-clock:time.time",
+        ]
+
+    def test_wall_clock_seen_inside_coroutines_loop_time_allowed(self, tmp_path):
+        # Coroutine bodies are no blind spot: time.time() in an async def
+        # is flagged, while the event loop's monotonic loop.time() (the
+        # clock the gateway's flush timer runs on) passes.
+        violations = check(
+            tmp_path,
+            WallClockRule(),
+            {"a.py": """
+                import asyncio
+                import time
+
+                async def tick():
+                    loop = asyncio.get_running_loop()
+                    return loop.time(), time.time()
+            """},
+        )
+        assert [v.key for v in violations] == ["wall-clock:wall-clock:time.time"]
+
+    def test_gateway_journal_module_exempt_from_wall_clock(self, tmp_path):
+        # The journal stamps records with an operator-metadata ``ts`` and
+        # is allow-listed; sibling gateway modules are not.
+        violations = check(
+            tmp_path,
+            WallClockRule(),
+            {
+                "gateway/journal.py": """
+                    import time
+                    def stamp():
+                        return time.time()
+                """,
+                "gateway/server.py": """
+                    import time
+                    async def stamp():
+                        return time.time()
+                """,
+            },
+        )
+        assert [(v.path, v.key) for v in violations] == [
+            ("repro/gateway/server.py", "wall-clock:wall-clock:time.time")
         ]
 
     def test_perf_counter_and_timing_model_module_allowed(self, tmp_path):

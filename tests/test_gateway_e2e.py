@@ -1,0 +1,237 @@
+"""End-to-end gateway gate: subprocess serve, SIGKILL, CLI replay.
+
+This is the CI job's backbone (``gateway-e2e``): a real gateway process
+serves a bursty multi-tenant workload over TCP, is killed with
+``SIGKILL`` mid-workload, and ``python -m repro.gateway replay`` must
+then produce a merged report verdict-identical to an uninterrupted run —
+zero acked submissions lost.
+
+The :func:`gateway_guard` fixture doubles as the orphan check: any
+gateway subprocess still running (or port still listening) at teardown
+fails the test, mirroring the ``check_orphans.py`` step CI runs after
+the suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.gateway.client import drive_workload_through_gateway
+from repro.serving.cli import workload_corpus
+from repro.serving.workloads import build_workload
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_CLAIMS = 30
+_SEED = 7
+_BATCH_SIZE = 6
+
+
+class _GatewayGuard:
+    """Track gateway subprocesses; leak detection happens at teardown."""
+
+    def __init__(self) -> None:
+        self.procs: list[subprocess.Popen] = []
+        self.ports: list[int] = []
+
+    def spawn_serve(self, journal_dir: Path, snapshot_dir: Path) -> subprocess.Popen:
+        command = [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.gateway",
+            "serve",
+            "--claims",
+            str(_CLAIMS),
+            "--seed",
+            str(_SEED),
+            "--batch-size",
+            str(_BATCH_SIZE),
+            "--port",
+            "0",
+            "--journal-dir",
+            str(journal_dir),
+            "--snapshot-dir",
+            str(snapshot_dir),
+        ]
+        env = {**os.environ, "PYTHONPATH": str(_REPO_ROOT / "src")}
+        proc = subprocess.Popen(
+            command,
+            cwd=_REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.procs.append(proc)
+        return proc
+
+    def wait_for_port(self, proc: subprocess.Popen, timeout: float = 120.0) -> int:
+        """Parse the ephemeral port from the gateway's listening line."""
+        deadline = time.monotonic() + timeout
+        assert proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                raise AssertionError(
+                    f"gateway exited before listening (rc={proc.poll()})"
+                )
+            if line.startswith("gateway listening on"):
+                port = int(line.strip().rsplit(":", 1)[1])
+                self.ports.append(port)
+                return port
+        raise AssertionError("timed out waiting for the gateway to listen")
+
+
+@pytest.fixture
+def gateway_guard():
+    guard = _GatewayGuard()
+    yield guard
+    leaked = []
+    for proc in guard.procs:
+        if proc.poll() is None:
+            leaked.append(proc.pid)
+            proc.kill()
+        if proc.stdout is not None:
+            proc.stdout.close()
+        proc.wait(timeout=60)
+    still_listening = []
+    for port in guard.ports:
+        with socket.socket() as sock:
+            sock.settimeout(1.0)
+            if sock.connect_ex(("127.0.0.1", port)) == 0:
+                still_listening.append(port)
+    assert not leaked, f"orphaned gateway process(es) killed at teardown: {leaked}"
+    assert not still_listening, f"gateway port(s) still listening: {still_listening}"
+
+
+def _replay(journal_dir: Path, snapshot_dir: Path, report_path: Path):
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.gateway",
+            "replay",
+            "--journal-dir",
+            str(journal_dir),
+            "--snapshot-dir",
+            str(snapshot_dir),
+            "--report",
+            str(report_path),
+        ],
+        cwd=_REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(_REPO_ROOT / "src")},
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    return result, (
+        json.loads(report_path.read_text(encoding="utf-8"))
+        if report_path.exists()
+        else None
+    )
+
+
+def _workload():
+    # Bursty only: each tenant submits its whole allotment in one request,
+    # so claims group into session batches identically in the live run and
+    # the offline replay — the precondition for verdict-identity.  (Steady
+    # tenants split submissions across rounds, and batch grouping would
+    # then depend on live round timing.)
+    corpus = workload_corpus(_CLAIMS, _SEED)
+    return build_workload(
+        list(corpus.claim_ids), tenant_count=4, seed=3, mix=("bursty",)
+    )
+
+
+class TestKillAndReplay:
+    def test_sigkill_then_replay_matches_uninterrupted_run(
+        self, gateway_guard, tmp_path
+    ):
+        workload = _workload()
+
+        # --- Uninterrupted baseline: serve, drive, graceful SIGTERM. ---
+        base = tmp_path / "baseline"
+        proc = gateway_guard.spawn_serve(base / "wal", base / "snap")
+        port = gateway_guard.wait_for_port(proc)
+        baseline = asyncio.run(
+            drive_workload_through_gateway(workload, "127.0.0.1", port)
+        )
+        assert baseline.accepted_claims == workload.claim_count
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=120) == 0
+        baseline_verdicts = baseline.verdicts_by_tenant
+
+        # --- Crash run: same workload, every submission acked, SIGKILL. ---
+        crash = tmp_path / "crash"
+        proc = gateway_guard.spawn_serve(crash / "wal", crash / "snap")
+        port = gateway_guard.wait_for_port(proc)
+        acked = asyncio.run(
+            drive_workload_through_gateway(
+                workload, "127.0.0.1", port, collect_results=False
+            )
+        )
+        assert acked.accepted_claims == workload.claim_count
+        proc.kill()
+        assert proc.wait(timeout=120) == -signal.SIGKILL
+
+        # --- Offline replay merges snapshots + journal back to idle. ---
+        result, report = _replay(crash / "wal", crash / "snap", tmp_path / "rpt.json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert report is not None
+        assert report["pending"] == 0
+        replayed_verdicts = {
+            tenant_id: entry["verdicts"] for tenant_id, entry in report["tenants"].items()
+        }
+        # Verdict-identical to the uninterrupted run: same tenants, same
+        # claims, same verdicts.
+        assert replayed_verdicts == baseline_verdicts
+        # Zero acked submissions lost: every claim acked before the kill
+        # has a verdict in the merged report.
+        recovered = {
+            claim for entry in report["tenants"].values() for claim in entry["verdicts"]
+        }
+        expected = {
+            claim
+            for event in workload.submissions
+            for claim in event.claim_ids
+        }
+        assert recovered == expected
+
+        # --- Replay is idempotent: a second pass changes nothing. ---
+        again, report2 = _replay(crash / "wal", crash / "snap", tmp_path / "rpt2.json")
+        assert again.returncode == 0, again.stdout + again.stderr
+        assert report2 is not None
+        assert report2["recovery"]["replayed_claims"] == 0
+        assert report2["tenants"] == report["tenants"]
+
+        # --- Status stays read-only and readable over the damaged dir. ---
+        status = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.gateway",
+                "status",
+                "--journal-dir",
+                str(crash / "wal"),
+                "--snapshot-dir",
+                str(crash / "snap"),
+            ],
+            cwd=_REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": str(_REPO_ROOT / "src")},
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert status.returncode == 0, status.stdout + status.stderr
+        assert "journal:" in status.stdout
+        assert "snapshots:" in status.stdout

@@ -1,0 +1,214 @@
+"""Journal framing, rotation, and the corruption-recovery contract.
+
+The recovery contract under test (ISSUE 8 satellite): a truncated tail
+ends its segment, a CRC mismatch mid-segment skips exactly one record,
+and neither ever raises in default mode — damage is counted, never
+fatal, and everything before/after the damage survives.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import JournalCorruptionError, JournalError
+from repro.gateway.journal import (
+    MAX_RECORD_BYTES,
+    JournalWriter,
+    encode_record,
+    scan_journal,
+    segment_paths,
+)
+
+_HEADER = struct.Struct(">II")
+
+
+def _write_records(directory, count: int, *, tenant: str = "alpha", **kwargs) -> JournalWriter:
+    writer = JournalWriter(directory, **kwargs)
+    for index in range(count):
+        writer.append(tenant, (f"claim-{index}",))
+    writer.commit()
+    writer.close()
+    return writer
+
+
+def _record_offsets(data: bytes) -> list[tuple[int, int]]:
+    """``(start, end)`` byte spans of every framed record in a segment."""
+    spans = []
+    offset = 0
+    while offset < len(data):
+        length, _ = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        spans.append((offset, end))
+        offset = end
+    return spans
+
+
+class TestRoundTrip:
+    def test_append_commit_scan_round_trip(self, tmp_path):
+        writer = JournalWriter(tmp_path)
+        seqs = [writer.append("alpha", ("c1", "c2")), writer.append("beta", ("c3",))]
+        writer.commit()
+        writer.close()
+        scan = scan_journal(tmp_path)
+        assert seqs == [0, 1]
+        assert [record.seq for record in scan.records] == [0, 1]
+        assert scan.records[0].claim_ids == ("c1", "c2")
+        assert scan.records[1].tenant_id == "beta"
+        assert scan.corrupt_records == 0 and scan.truncated_tails == 0
+        assert scan.last_seq == 1
+
+    def test_scan_of_empty_directory(self, tmp_path):
+        scan = scan_journal(tmp_path / "nothing-here")
+        assert scan.records == [] and scan.segments == 0
+        assert scan.last_seq == -1
+
+    def test_seq_resumes_and_new_writer_opens_new_segment(self, tmp_path):
+        _write_records(tmp_path, 3)
+        writer = JournalWriter(tmp_path)
+        assert writer.next_seq == 3
+        writer.append("beta", ("late",))
+        writer.close()
+        # A reopened writer must never touch the old segment: whatever a
+        # crash left at its tail stays untouched forever.
+        assert len(segment_paths(tmp_path)) == 2
+        scan = scan_journal(tmp_path)
+        assert [record.seq for record in scan.records] == [0, 1, 2, 3]
+
+    def test_segment_rotation_by_size(self, tmp_path):
+        writer = JournalWriter(tmp_path, segment_bytes=128)
+        for index in range(8):
+            writer.append("alpha", (f"claim-{index:04d}",))
+        writer.close()
+        assert writer.segments_opened > 1
+        assert len(segment_paths(tmp_path)) == writer.segments_opened
+        scan = scan_journal(tmp_path)
+        assert [record.seq for record in scan.records] == list(range(8))
+
+    def test_record_too_large_raises_journal_error(self, tmp_path):
+        writer = JournalWriter(tmp_path)
+        with pytest.raises(JournalError):
+            writer.append("alpha", ("x" * (MAX_RECORD_BYTES + 16),))
+        writer.close()
+
+    def test_fsync_batching_counters(self, tmp_path):
+        writer = JournalWriter(tmp_path)
+        for index in range(6):
+            writer.append("alpha", (f"claim-{index}",))
+        writer.commit()
+        writer.append("alpha", ("tail",))
+        writer.commit()
+        writer.commit()  # nothing buffered: must not count an fsync
+        writer.close()
+        stats = writer.stats()
+        assert stats["records_appended"] == 7
+        assert stats["records_committed"] == 7
+        assert stats["commits"] == 2
+        assert stats["appends_per_commit"] == pytest.approx(3.5)
+
+
+class TestCorruptionRecovery:
+    def test_truncated_tail_recovers_to_last_good_record(self, tmp_path):
+        _write_records(tmp_path, 3)
+        path = segment_paths(tmp_path)[0]
+        frame = encode_record(99, "alpha", ("lost-claim",), 0.0)
+        # A crash mid-write leaves a partial frame at the tail.
+        path.write_bytes(path.read_bytes() + frame[: len(frame) - 4])
+        scan = scan_journal(tmp_path)
+        assert [record.seq for record in scan.records] == [0, 1, 2]
+        assert scan.truncated_tails == 1
+        assert scan.corrupt_records == 0
+
+    def test_short_header_tail(self, tmp_path):
+        _write_records(tmp_path, 2)
+        path = segment_paths(tmp_path)[0]
+        path.write_bytes(path.read_bytes() + b"\x00\x00\x01")
+        scan = scan_journal(tmp_path)
+        assert len(scan.records) == 2
+        assert scan.truncated_tails == 1
+
+    def test_implausible_length_is_a_truncated_tail(self, tmp_path):
+        _write_records(tmp_path, 2)
+        path = segment_paths(tmp_path)[0]
+        bogus = _HEADER.pack(MAX_RECORD_BYTES + 1, 0) + b"garbage"
+        path.write_bytes(path.read_bytes() + bogus)
+        scan = scan_journal(tmp_path)
+        assert len(scan.records) == 2
+        assert scan.truncated_tails == 1
+
+    def test_crc_mismatch_mid_segment_skips_one_record(self, tmp_path):
+        _write_records(tmp_path, 3)
+        path = segment_paths(tmp_path)[0]
+        data = bytearray(path.read_bytes())
+        spans = _record_offsets(bytes(data))
+        # Flip one payload byte of the MIDDLE record; framing stays intact.
+        start, end = spans[1]
+        data[end - 1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        scan = scan_journal(tmp_path)
+        assert [record.seq for record in scan.records] == [0, 2]
+        assert scan.corrupt_records == 1
+        assert scan.truncated_tails == 0
+
+    def test_valid_crc_but_bad_json_payload_is_skipped(self, tmp_path):
+        _write_records(tmp_path, 1)
+        path = segment_paths(tmp_path)[0]
+        payload = b"{\"seq\": \"not-a-mapping"
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        path.write_bytes(path.read_bytes() + frame)
+        scan = scan_journal(tmp_path)
+        assert len(scan.records) == 1
+        assert scan.corrupt_records == 1
+
+    def test_damage_confined_to_one_segment(self, tmp_path):
+        writer = JournalWriter(tmp_path, segment_bytes=64)
+        for index in range(6):
+            writer.append("alpha", (f"claim-{index:04d}",))
+        writer.close()
+        paths = segment_paths(tmp_path)
+        assert len(paths) >= 3
+        # Truncate the middle segment: its tail is lost, every other
+        # segment still reads completely.
+        middle = paths[len(paths) // 2]
+        middle.write_bytes(middle.read_bytes()[:-3])
+        scan = scan_journal(tmp_path)
+        assert scan.truncated_tails == 1
+        assert len(scan.records) == 5
+
+    def test_strict_mode_raises(self, tmp_path):
+        _write_records(tmp_path, 2)
+        path = segment_paths(tmp_path)[0]
+        path.write_bytes(path.read_bytes()[:-2])
+        with pytest.raises(JournalCorruptionError):
+            scan_journal(tmp_path, strict=True)
+
+    def test_writer_resumes_after_damaged_tail(self, tmp_path):
+        _write_records(tmp_path, 2)
+        path = segment_paths(tmp_path)[0]
+        path.write_bytes(path.read_bytes()[:-5])
+        # seq resumes after the last *good* record; the damaged one is gone.
+        writer = JournalWriter(tmp_path)
+        assert writer.next_seq == 1
+        writer.append("alpha", ("after-crash",))
+        writer.close()
+        scan = scan_journal(tmp_path)
+        assert [record.seq for record in scan.records] == [0, 1]
+        assert scan.truncated_tails == 1
+
+    def test_abandon_simulates_a_crash(self, tmp_path):
+        writer = JournalWriter(tmp_path)
+        writer.append("alpha", ("committed",))
+        writer.commit()
+        writer.append("alpha", ("maybe-lost",))
+        writer.abandon()
+        scan = scan_journal(tmp_path)
+        # The committed record is always there; the uncommitted one may or
+        # may not have reached the OS, but the scan never fails either way.
+        seqs = [record.seq for record in scan.records]
+        assert seqs[0] == 0
+        assert all(
+            json.loads(json.dumps(record.tenant_id)) == "alpha" for record in scan.records
+        )

@@ -1,0 +1,110 @@
+"""Wire-frame encoding, validation, and the error-code taxonomy bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    BackpressureError,
+    ClaimError,
+    GatewayError,
+    ProtocolError,
+    UnknownTenantError,
+)
+from repro.gateway.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    error_code_for,
+    error_frame,
+    exception_for_error,
+)
+
+
+class TestFrames:
+    def test_encode_decode_round_trip(self):
+        frame = {"type": "submit", "tenant_id": "alpha", "claim_ids": ["c1", "c2"]}
+        line = encode_frame(frame)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert decode_frame(line) == frame
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2, 3]\n")
+
+    def test_decode_rejects_missing_type(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b'{"tenant_id": "alpha"}\n')
+
+    def test_decode_rejects_garbage_bytes(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff\xfe not json\n")
+
+    def test_oversized_frames_rejected_both_ways(self):
+        big = {"type": "submit", "claim_ids": ["x" * MAX_FRAME_BYTES]}
+        with pytest.raises(ProtocolError):
+            encode_frame(big)
+        with pytest.raises(ProtocolError):
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_unencodable_frame(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "status", "payload": object()})
+
+
+class TestErrorTaxonomyBridge:
+    def test_error_frame_defaults_retryable_by_code(self):
+        assert error_frame("backpressure", "full")["retryable"] is True
+        assert error_frame("admission", "no")["retryable"] is False
+        assert error_frame("server-closed", "bye")["retryable"] is True
+
+    def test_error_frame_carries_request_id_only_when_given(self):
+        assert "request_id" not in error_frame("bad-frame", "nope")
+        assert error_frame("bad-frame", "nope", request_id="7")["request_id"] == "7"
+
+    @pytest.mark.parametrize(
+        ("error", "code"),
+        [
+            (BackpressureError("full"), "backpressure"),
+            (AdmissionError("quota"), "admission"),
+            (UnknownTenantError("ghost"), "unknown-tenant"),
+            (ClaimError("unknown claim"), "unknown-claim"),
+            (ProtocolError("bad"), "bad-frame"),
+            (GatewayError("shutting down"), "server-closed"),
+        ],
+    )
+    def test_error_code_for_most_specific_wins(self, error, code):
+        assert error_code_for(error) == code
+
+    @pytest.mark.parametrize(
+        ("code", "exc_type"),
+        [
+            ("backpressure", BackpressureError),
+            ("admission", AdmissionError),
+            ("unknown-claim", ClaimError),
+            ("bad-frame", ProtocolError),
+            ("server-closed", GatewayError),
+            ("never-heard-of-it", GatewayError),
+        ],
+    )
+    def test_exception_for_error_reconstructs_taxonomy(self, code, exc_type):
+        error = exception_for_error({"type": "error", "code": code, "message": "m"})
+        assert isinstance(error, exc_type)
+
+    def test_unknown_tenant_frame_rebuilds_tenant_id(self):
+        error = exception_for_error(
+            {"type": "error", "code": "unknown-tenant", "message": "m", "tenant_id": "t9"}
+        )
+        assert isinstance(error, UnknownTenantError)
+        assert error.tenant_id == "t9"
+
+    def test_round_trip_server_shed_to_client_exception(self):
+        # The full path a load-shed takes: server exception → frame → wire
+        # → client exception of the same type.
+        original = BackpressureError("submission backlog is full")
+        code = error_code_for(original)
+        line = encode_frame(error_frame(code, str(original), request_id="42"))
+        rebuilt = exception_for_error(decode_frame(line))
+        assert isinstance(rebuilt, BackpressureError)
+        assert "backlog" in str(rebuilt)
