@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-runtime bench-serving bench-planner bench-gateway coverage lint lint-invariants typecheck check
+.PHONY: test bench bench-quick bench-runtime bench-serving bench-planner bench-store bench-gateway coverage lint lint-invariants typecheck check-docs check
 
 # Tier-1 verification: the full unit + benchmark suite, fail-fast.
 test:
@@ -33,6 +33,12 @@ bench-serving:
 # repository root (CI uploads it).
 bench-planner:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_planner_scaling.py -q
+
+# Out-of-core store benchmark (100k-claim pool through SQLite + memmap
+# with SQL pushdown planning) in its reduced configuration; merges the
+# "store_100k" row into BENCH_planner_scaling.json (CI uploads it).
+bench-store:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/test_bench_store_scaling.py -q
 
 # Gateway end-to-end throughput benchmark (NDJSON wire + journal fsync in
 # the ack path) in its reduced configuration; writes
@@ -82,4 +88,9 @@ typecheck:
 		echo "mypy not installed; skipping typecheck"; \
 	fi
 
-check: lint lint-invariants typecheck test
+# Dead-link check over docs/**/*.md and the root Markdown pages.  Pure
+# stdlib — always runs; a relative link to a missing file fails the build.
+check-docs:
+	$(PYTHON) scripts/check_docs.py
+
+check: lint lint-invariants typecheck check-docs test

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Dead-link checker for the documentation tree (stdlib only).
+
+Scans Markdown files for inline links and images (``[text](target)`` /
+``![alt](target)``) plus reference-style definitions (``[label]: target``)
+and fails when a *relative* target does not exist on disk.  External
+schemes (``http(s)://``, ``mailto:``), in-page anchors (``#section``) and
+badge endpoints the repository cannot know about (``../../actions/...``)
+are skipped; a relative target's ``#fragment`` suffix is ignored, but the
+file part must exist.
+
+CI runs this as a blocking step over ``docs/**/*.md``, ``README.md`` and
+the other root-level Markdown pages, so the docs cannot silently rot as
+files move: a page that links to a renamed neighbour fails the build.
+
+Usage::
+
+    python scripts/check_docs.py [root]
+
+Exit status 0 when every relative link resolves, 1 otherwise (each dead
+link is listed as ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["dead_links", "iter_doc_files", "main"]
+
+#: Inline links/images.  Targets with spaces plus an optional "title" part
+#: are cut at the first whitespace, which is what Markdown does too.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference-style definitions: [label]: target
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+#: Root-level Markdown pages checked in addition to docs/**/*.md.
+_ROOT_PAGES = ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md", "PAPERS.md")
+
+
+def iter_doc_files(root: Path) -> list[Path]:
+    """Every Markdown file the checker covers, sorted for stable output."""
+    files = {path for path in (root / "docs").rglob("*.md")}
+    for name in _ROOT_PAGES:
+        candidate = root / name
+        if candidate.is_file():
+            files.add(candidate)
+    return sorted(files)
+
+
+def _is_external(target: str) -> bool:
+    if target.startswith(("http://", "https://", "mailto:", "#")):
+        return True
+    # CI badge routes resolve on the forge, not in the checkout.
+    return "/actions/" in target
+
+
+def _targets(text: str) -> list[tuple[int, str]]:
+    """``(line_number, target)`` for every link in ``text`` (1-based)."""
+    found: list[tuple[int, str]] = []
+    in_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _INLINE_LINK.finditer(line):
+            found.append((line_number, match.group(1)))
+        reference = _REFERENCE_DEF.match(line)
+        if reference is not None:
+            found.append((line_number, reference.group(1)))
+    return found
+
+
+def dead_links(files: list[Path], root: Path) -> list[tuple[Path, int, str]]:
+    """Every ``(file, line, target)`` whose relative target does not exist."""
+    dead: list[tuple[Path, int, str]] = []
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        for line_number, target in _targets(text):
+            if _is_external(target):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if relative.startswith("/"):
+                resolved = root / relative.lstrip("/")
+            else:
+                resolved = path.parent / relative
+            if not resolved.exists():
+                dead.append((path, line_number, target))
+    return dead
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    root = Path(arguments[0]) if arguments else Path(__file__).resolve().parent.parent
+    files = iter_doc_files(root)
+    broken = dead_links(files, root)
+    for path, line_number, target in broken:
+        try:
+            shown = path.relative_to(root)
+        except ValueError:
+            shown = path
+        print(f"{shown}:{line_number}: dead link -> {target}")
+    print(
+        f"check_docs: {len(files)} file(s), "
+        f"{len(broken)} dead relative link(s)"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,11 @@ Run it with ``python -m repro.analysis [paths]`` (see
 
 Pre-existing violations are grandfathered in ``reprolint.baseline.json``
 (:mod:`repro.analysis.baseline`); only new violations fail the build.
+
+Layering contract: layer 2 of the enforced import DAG (peer of
+``dataset``/``ml``/``text``) — may import only ``errors``, ``config`` and
+same-layer peers; never ``sqlengine`` or anything above. Enforced by this
+very package; see ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -11,6 +11,12 @@ This package is the front door for embedding the Scrutinizer loop:
 * :mod:`repro.api.service` — :class:`VerificationService`, the incremental
   engine (``submit`` / ``run_batch`` / ``iter_results`` / callbacks).
 * :mod:`repro.api.serialization` — JSON interchange for reports.
+
+Layering contract: layer 10 of the enforced import DAG — may import the
+data plane and planners below it (``pipeline``/``planning``, ``crowd``,
+``core``/``synth``, ``translation``, ``claims``, …); never ``runtime``,
+``serving`` or ``gateway``. Enforced by reprolint; see
+``docs/architecture.md``.
 """
 
 from repro.api.builder import ScrutinizerBuilder

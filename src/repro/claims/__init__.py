@@ -5,6 +5,11 @@ the paper): a text document divided into sections and sentences, claims
 (explicit or general) referring to data, the annotations left by checkers
 who verified claims in the past, and the corpus object tying everything
 together with the database.
+
+Layering contract: layer 5 of the enforced import DAG — may import
+``formulas``, ``sqlengine``, ``dataset``/``ml``/``text``/``analysis``,
+``config`` and ``errors``; never ``store``/``translation`` or anything
+above. Enforced by reprolint; see ``docs/architecture.md``.
 """
 
 from repro.claims.annotations import CheckerAnnotation, build_annotation

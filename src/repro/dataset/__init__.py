@@ -6,6 +6,11 @@ whose remaining attributes are mostly years (see Figure 1 of the paper).
 primary-key column plus named value attributes — while
 :class:`~repro.dataset.database.Database` holds the corpus and answers the
 look-ups issued by the SQL engine and the query generator.
+
+Layering contract: layer 2 of the enforced import DAG (peer of
+``analysis``/``ml``/``text``) — may import only ``errors``, ``config`` and
+same-layer peers; never ``sqlengine`` or anything above. Enforced by
+reprolint; see ``docs/architecture.md``.
 """
 
 from repro.dataset.catalog import Catalog, RelationSummary

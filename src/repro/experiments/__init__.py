@@ -5,6 +5,10 @@ row dictionaries or series) that matches the rows/series of the
 corresponding table or figure, plus the paper's reported values where
 available so the two can be printed side by side.  The benchmarks in
 ``benchmarks/`` call these entry points.
+
+Layering contract: layer 13 of the enforced import DAG (peer of
+``gateway``, the top) — may import every other subsystem; nothing imports
+it. Enforced by reprolint; see ``docs/architecture.md``.
 """
 
 from repro.experiments import (

@@ -6,6 +6,11 @@ values become *value variables* (``a``, ``b``, …) and concrete attribute
 labels become *attribute variables* (``A1``, ``A2``, …).  Formulas are the
 classes predicted by the fourth classifier and are instantiated over the
 candidate relations/keys/attributes during query generation (Algorithm 2).
+
+Layering contract: layer 4 of the enforced import DAG — may import
+``sqlengine``, ``dataset``/``ml``/``text``/``analysis``, ``config`` and
+``errors``; never ``claims`` or anything above. Enforced by reprolint; see
+``docs/architecture.md``.
 """
 
 from repro.formulas.ast import (

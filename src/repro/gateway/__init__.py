@@ -15,6 +15,11 @@ VerificationServer` into a real serving process:
 surface; :mod:`repro.gateway.client` is the asyncio client used by the
 workload driver, the e2e kill-and-replay test and the throughput
 benchmark.
+
+Layering contract: layer 13 of the enforced import DAG (peer of
+``experiments``, the top) — may import every other subsystem, in practice
+``serving`` and below; nothing imports it. Enforced by reprolint; see
+``docs/architecture.md``.
 """
 
 from repro.gateway.journal import (

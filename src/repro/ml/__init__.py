@@ -7,6 +7,11 @@ top of numpy: multinomial (softmax) logistic regression, multinomial naive
 Bayes and a k-nearest-neighbour fallback, together with label encoding,
 evaluation metrics (accuracy, top-k accuracy, distribution entropy) and the
 active-learning utilities of Section 5.2.
+
+Layering contract: layer 2 of the enforced import DAG (peer of
+``analysis``/``dataset``/``text``) — may import only ``errors``, ``config``
+and same-layer peers; never ``sqlengine`` or anything above. Enforced by
+reprolint; see ``docs/architecture.md``.
 """
 
 from repro.ml.active import UncertaintySampler, prediction_entropy

@@ -20,6 +20,11 @@ across every batch.  This package makes that loop operable:
   the multi-tenant :mod:`repro.serving` layer.
 * :mod:`repro.runtime.cli` — ``python -m repro.runtime`` with ``run`` /
   ``resume`` / ``status`` verbs over synthetic workloads.
+
+Layering contract: layer 11 of the enforced import DAG (peer of
+``simulation``) — may import ``api`` and everything below it; never
+``serving`` or ``gateway``. Enforced by reprolint; see
+``docs/architecture.md``.
 """
 
 from repro.runtime.pool import EXECUTOR_KINDS, WorkerPool

@@ -117,6 +117,16 @@ class ServiceSnapshot:
     #: Free-form caller annotations (the CLI stores its workload recipe
     #: here so ``resume`` can regenerate the corpus deterministically).
     metadata: dict[str, object] = field(default_factory=dict)
+    #: When the service's feature store runs on an out-of-core backend,
+    #: the backend's manifest (see
+    #: :meth:`repro.store.outofcore.OutOfCoreClaimStore.manifest`) — the
+    #: on-disk layout description a rehydrator reattaches from.  The
+    #: snapshot records *this* instead of any feature bytes: the matrix
+    #: lives in the store's memmap files, not in the checkpoint.  ``None``
+    #: for the default all-in-RAM backend (features re-derive from the
+    #: translator state), and omitted from the JSON payload in that case,
+    #: so pre-existing snapshots round-trip unchanged at schema version 1.
+    store_manifest: dict[str, object] | None = None
 
     # ------------------------------------------------------------------ #
     # capture
@@ -143,6 +153,11 @@ class ServiceSnapshot:
                 "batches": [record.to_dict() for record in service.session.batches],
             }
         translator_to_state = getattr(service.translator, "to_state", None)
+        suite = getattr(service.translator, "suite", None)
+        feature_store = getattr(suite, "feature_store", None)
+        store_backend = getattr(feature_store, "backend", None)
+        manifest_hook = getattr(store_backend, "manifest", None)
+        store_manifest = manifest_hook() if callable(manifest_hook) else None
         checker_states: list[dict | None] = []
         for checker in service.checkers:
             checker_to_state = getattr(checker, "to_state", None)
@@ -160,6 +175,7 @@ class ServiceSnapshot:
             report=service.report.to_dict(),
             translator=translator_to_state() if translator_to_state else None,
             metadata=dict(metadata) if metadata is not None else {},
+            store_manifest=store_manifest,
         )
 
     # ------------------------------------------------------------------ #
@@ -243,7 +259,7 @@ class ServiceSnapshot:
     # (de)serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "schema_version": self.schema_version,
             "config": self.config,
             "system_name": self.system_name,
@@ -258,6 +274,9 @@ class ServiceSnapshot:
             "translator": self.translator,
             "metadata": self.metadata,
         }
+        if self.store_manifest is not None:
+            payload["store_manifest"] = self.store_manifest
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "ServiceSnapshot":
@@ -281,6 +300,7 @@ class ServiceSnapshot:
                 report=payload.get("report"),  # type: ignore[arg-type]
                 translator=payload.get("translator"),  # type: ignore[arg-type]
                 metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+                store_manifest=payload.get("store_manifest"),  # type: ignore[arg-type]
             )
         except (KeyError, TypeError, ValueError) as error:
             raise SerializationError(f"invalid snapshot payload: {error}") from error

@@ -25,6 +25,11 @@ per tenant — against a shared corpus and a shared
 ``benchmarks/test_bench_serving_throughput.py`` records sustained
 claims/sec and p95 batch latency at 1/4/16 concurrent tenants in
 ``BENCH_serving_throughput.json``.
+
+Layering contract: layer 12 of the enforced import DAG — may import
+``runtime``/``simulation``, ``api`` and everything below; only
+``gateway``/``experiments`` may import it. Enforced by reprolint; see
+``docs/architecture.md``.
 """
 
 from repro.serving.scheduler import RoundDecision, SchedulerConfig, TenantScheduler

@@ -42,9 +42,10 @@ import copy
 import time
 import zlib
 from collections import deque
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.api.service import BatchResult, VerificationService
 from repro.claims.corpus import ClaimCorpus
@@ -63,6 +64,9 @@ from repro.planning.engine import PlannerEngine
 from repro.runtime.pool import WorkerPool
 from repro.runtime.snapshot import ServiceSnapshot, SnapshotStore
 from repro.serving.scheduler import SchedulerConfig, TenantScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.store.backend import FeatureBackend
 
 __all__ = [
     "AdmissionPolicy",
@@ -199,6 +203,9 @@ class ServerStats:
     #: tenant batches those fused solves selected.
     fused_rounds: int = 0
     fused_batches: int = 0
+    #: Passivations that dropped an out-of-core feature backend's resident
+    #: memmap pages (instead of pickling feature bytes into the snapshot).
+    store_releases: int = 0
 
 
 @dataclass(frozen=True)
@@ -307,6 +314,20 @@ class VerificationServer:
         The :class:`~repro.serving.scheduler.SchedulerConfig` of the
         work-stealing tenant scheduler (fairness pressure, starvation
         deadline, planner-fusion knobs).
+    feature_backend_factory:
+        Opt-in out-of-core feature storage: a callable mapping a tenant id
+        to the :class:`~repro.store.backend.FeatureBackend` its session's
+        :class:`~repro.pipeline.feature_store.ClaimFeatureStore` should
+        use (typically an
+        :class:`~repro.store.outofcore.OutOfCoreFeatureBackend` over a
+        per-tenant directory).  The factory is called every time the
+        tenant's session becomes resident, so it should reattach to the
+        same on-disk state rather than create fresh stores.  Passivation
+        then *releases* the backend's mapped pages instead of carrying
+        feature bytes in the snapshot, and the snapshot records the
+        backend's manifest — which is also how a server **without** a
+        factory rehydrates such a snapshot (the manifest alone is enough
+        to reattach).
     """
 
     def __init__(
@@ -322,6 +343,7 @@ class VerificationServer:
         pool: WorkerPool | None = None,
         planner_engine: PlannerEngine | None = None,
         scheduler: SchedulerConfig | None = None,
+        feature_backend_factory: "Callable[[str], FeatureBackend] | None" = None,
     ) -> None:
         if pool is None and executor not in _SERVER_EXECUTORS:
             raise ConfigurationError(
@@ -353,6 +375,7 @@ class VerificationServer:
         if planner_engine is None and self.scheduler_config.fuse_planning:
             planner_engine = PlannerEngine()
         self._planner_engine = planner_engine
+        self._feature_backend_factory = feature_backend_factory
         self._tenants: dict[str, _TenantRecord] = {}
         self._queue: deque[_Submission] = deque()
         self._round = 0
@@ -526,6 +549,52 @@ class VerificationServer:
         if store is not None:
             store.max_rows = cap
 
+    @staticmethod
+    def _feature_store_of(service: VerificationService):
+        suite = getattr(service.translator, "suite", None)
+        return getattr(suite, "feature_store", None)
+
+    def _attach_store_backend(
+        self,
+        service: VerificationService,
+        record: _TenantRecord,
+        snapshot: ServiceSnapshot | None = None,
+    ) -> None:
+        """Put the tenant's feature rows out-of-core when so configured.
+
+        The factory wins when one is set; otherwise a snapshot carrying a
+        store manifest is enough to reattach (a restarted server without
+        the factory still finds the tenant's rows on disk).  With neither,
+        the session keeps its default in-RAM backend.
+        """
+        feature_store = self._feature_store_of(service)
+        if feature_store is None:
+            return
+        backend: "FeatureBackend | None" = None
+        if self._feature_backend_factory is not None:
+            backend = self._feature_backend_factory(record.tenant_id)
+        elif snapshot is not None and snapshot.store_manifest is not None:
+            from repro.store.outofcore import (
+                OutOfCoreClaimStore,
+                OutOfCoreFeatureBackend,
+            )
+
+            backend = OutOfCoreFeatureBackend(
+                OutOfCoreClaimStore.from_manifest(snapshot.store_manifest)
+            )
+        if backend is not None:
+            feature_store.attach_backend(backend)
+
+    def _release_store_pages(self, service: VerificationService) -> bool:
+        """Drop an out-of-core backend's resident memmap pages, if any."""
+        backend = getattr(self._feature_store_of(service), "backend", None)
+        release = getattr(backend, "release", None)
+        if not callable(release):
+            return False
+        release()
+        self.stats.store_releases += 1
+        return True
+
     def _fresh_translator(self):
         from repro.translation.translator import ClaimTranslator
 
@@ -602,6 +671,7 @@ class VerificationServer:
             ).build_service()
             record.rehydrations += 1
             self.stats.rehydrations += 1
+            self._attach_store_backend(service, record, snapshot)
         else:
             service = VerificationService(
                 self.corpus,
@@ -610,6 +680,7 @@ class VerificationServer:
                 system_name=f"{self._system_name}/{record.tenant_id}",
             )
             self.stats.sessions_started += 1
+            self._attach_store_backend(service, record)
         self._apply_feature_cap(service)
         if self._planner_engine is not None:
             # One engine for every tenant: shared skeleton cache, per-tenant
@@ -630,6 +701,10 @@ class VerificationServer:
         if service is None:
             return
         snapshot = service.snapshot(metadata={"tenant_id": record.tenant_id})
+        # Out-of-core sessions park their matrix as mapped files, not as
+        # snapshot bytes: flush and drop the resident pages instead.  (The
+        # snapshot already recorded the backend's manifest.)
+        self._release_store_pages(service)
         if self.store is not None:
             self.store.save(record.tenant_id, snapshot)
             record.parked_snapshot = None

@@ -4,6 +4,11 @@ The simulator runs the Manual, Sequential and Scrutinizer processes over a
 full synthetic report in a cold-start setting and collects the quantities
 the paper reports: total verification time (weeks), savings, classifier
 accuracy over time and computational overheads.
+
+Layering contract: layer 11 of the enforced import DAG (peer of
+``runtime``) — may import ``api`` and everything below it; never
+``serving`` or ``gateway``. Enforced by reprolint; see
+``docs/architecture.md``.
 """
 
 from repro.simulation.results import SimulationSummary, SystemRunResult

@@ -10,6 +10,11 @@ The module provides a lexer/parser producing a small AST
 :class:`~repro.dataset.database.Database`, the function library
 (:mod:`repro.sqlengine.functions`) and a programmatic query builder used by
 the query generator.
+
+Layering contract: layer 3 of the enforced import DAG — may import
+``analysis``/``dataset``/``ml``/``text``, ``config`` and ``errors``; never
+``formulas`` or anything above. Enforced by reprolint; see
+``docs/architecture.md``.
 """
 
 from repro.sqlengine.ast import (

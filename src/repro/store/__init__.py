@@ -1,0 +1,46 @@
+"""Out-of-core claim and feature storage (SQLite catalog + memmap matrix).
+
+Contract: this subsystem owns *where claim data lives* once pools outgrow
+RAM.  It provides
+
+* :class:`~repro.store.backend.FeatureBackend` — the row-storage protocol
+  behind :class:`~repro.pipeline.feature_store.ClaimFeatureStore`, with
+  :class:`~repro.store.backend.InMemoryFeatureBackend` as the default
+  all-in-RAM implementation (exactly the pre-existing dict semantics);
+* :class:`~repro.store.outofcore.OutOfCoreClaimStore` — a SQLite catalog
+  of claims, sections and per-generation ``(cost, utility)`` scores beside
+  one ``numpy.memmap`` feature file per featurizer generation, plus the
+  relational *pushdown* queries (window-function per-section aggregates
+  and dominance-prune pre-filtering) that hand
+  :class:`~repro.planning.engine.PlannerEngine` an already-pruned
+  candidate set;
+* :class:`~repro.store.outofcore.OutOfCoreFeatureBackend` — the adapter
+  that plugs the out-of-core store into ``ClaimFeatureStore(backend=...)``;
+* manifests: a JSON-safe description of the on-disk layout that snapshots
+  record *instead of* the matrix bytes, and from which a store reattaches
+  (:meth:`~repro.store.outofcore.OutOfCoreClaimStore.from_manifest`).
+
+Allowed imports (reprolint layer 6, peer of ``translation``): the Python
+standard library, ``numpy``, and the lower repro layers ``repro.errors``,
+``repro.config``, ``repro.dataset``/``repro.text``/``repro.ml`` and
+``repro.claims``.  It must not import ``pipeline``, ``planning`` or
+anything above them — those layers call *into* the store, never the other
+way around.
+"""
+
+from repro.store.backend import FeatureBackend, InMemoryFeatureBackend
+from repro.store.outofcore import (
+    GenerationInfo,
+    OutOfCoreClaimStore,
+    OutOfCoreFeatureBackend,
+    SectionAggregate,
+)
+
+__all__ = [
+    "FeatureBackend",
+    "GenerationInfo",
+    "InMemoryFeatureBackend",
+    "OutOfCoreClaimStore",
+    "OutOfCoreFeatureBackend",
+    "SectionAggregate",
+]

@@ -1,0 +1,133 @@
+"""Feature-row backend protocol and the default all-in-RAM backend.
+
+:class:`~repro.pipeline.feature_store.ClaimFeatureStore` owns the caching
+*policy* — generation sync, batch featurization of missing rows, read-only
+row views — and delegates row *storage* to a :class:`FeatureBackend`.  The
+default :class:`InMemoryFeatureBackend` preserves the store's historical
+semantics exactly (a plain dict with insertion-order eviction under a
+capacity bound), so a store built without an explicit backend behaves
+byte-for-byte like it always did.  The out-of-core backend lives in
+:mod:`repro.store.outofcore`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["FeatureBackend", "InMemoryFeatureBackend"]
+
+
+@runtime_checkable
+class FeatureBackend(Protocol):
+    """Where a :class:`ClaimFeatureStore` keeps its featurized rows.
+
+    Implementations store float rows keyed by claim id, scoped to one
+    featurizer *generation* at a time: :meth:`reset` is called whenever the
+    store's preprocessor generation changes, and rows written before the
+    most recent reset must never be served again.  Returned rows must be
+    safe to hand to many consumers (the store marks them read-only).
+    """
+
+    def get(self, claim_id: str) -> np.ndarray | None:
+        """The stored row for one claim, or ``None`` when absent."""
+        ...
+
+    def get_many(self, claim_ids: Sequence[str]) -> dict[str, np.ndarray]:
+        """The stored rows among ``claim_ids`` (absent ids are omitted)."""
+        ...
+
+    def put(self, claim_id: str, row: np.ndarray, section_id: str = "") -> None:
+        """Store one row (the section id lets catalog backends index it)."""
+        ...
+
+    def put_many(
+        self,
+        claim_ids: Sequence[str],
+        matrix: np.ndarray,
+        section_ids: Sequence[str] | None = None,
+    ) -> None:
+        """Store one row per claim, in order (``matrix`` row ``i`` ↔ id ``i``)."""
+        ...
+
+    def forget(self, claim_ids: Sequence[str]) -> int:
+        """Drop specific claims' rows; returns how many were present."""
+        ...
+
+    def reset(self, generation: int) -> None:
+        """Adopt a new featurizer generation; previously stored rows are dead."""
+        ...
+
+    def set_capacity(self, max_rows: int | None) -> None:
+        """Bound the resident row count (``None`` = unbounded).
+
+        Backends whose rows are not resident (memory-mapped files) may
+        treat this as advisory.
+        """
+        ...
+
+    def __len__(self) -> int:
+        """How many rows of the current generation are stored."""
+        ...
+
+
+class InMemoryFeatureBackend:
+    """The historical all-in-RAM row store: a dict with FIFO-ish eviction.
+
+    Insertion order approximates recency on the verification hot path —
+    each batch re-requests the pending pool, and rows it still needs are
+    re-inserted right after an eviction makes room — so evicting the
+    oldest insertion is the same policy the pre-backend store used.
+    """
+
+    def __init__(self, max_rows: int | None = None) -> None:
+        self._rows: dict[str, np.ndarray] = {}
+        self._max_rows = max_rows
+
+    def get(self, claim_id: str) -> np.ndarray | None:
+        return self._rows.get(claim_id)
+
+    def get_many(self, claim_ids: Sequence[str]) -> dict[str, np.ndarray]:
+        rows = self._rows
+        return {
+            claim_id: rows[claim_id] for claim_id in claim_ids if claim_id in rows
+        }
+
+    def put(self, claim_id: str, row: np.ndarray, section_id: str = "") -> None:
+        self._rows[claim_id] = row
+        self._evict_over_capacity()
+
+    def put_many(
+        self,
+        claim_ids: Sequence[str],
+        matrix: np.ndarray,
+        section_ids: Sequence[str] | None = None,
+    ) -> None:
+        for index, claim_id in enumerate(claim_ids):
+            self._rows[claim_id] = matrix[index]
+            self._evict_over_capacity()
+
+    def forget(self, claim_ids: Sequence[str]) -> int:
+        dropped = 0
+        for claim_id in claim_ids:
+            if self._rows.pop(claim_id, None) is not None:
+                dropped += 1
+        return dropped
+
+    def reset(self, generation: int) -> None:
+        self._rows.clear()
+
+    def set_capacity(self, max_rows: int | None) -> None:
+        self._max_rows = max_rows
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        if self._max_rows is None:
+            return
+        while len(self._rows) > self._max_rows:
+            self._rows.pop(next(iter(self._rows)))
+
+    def __len__(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,857 @@
+"""SQLite + memmap out-of-core claim store with relational pushdown.
+
+Layout on disk (one directory per store):
+
+* ``claims.sqlite3`` — the catalog: one row per claim (``ord`` is the
+  arrival order and doubles as the memmap row index), plus per-generation
+  ``(cost, utility)`` scores and the registry of published feature
+  generations.
+* ``features.g<generation>.bin`` — one dense ``numpy.memmap`` matrix per
+  featurizer generation, row ``ord`` holding that claim's feature vector.
+  A vocabulary refit bumps the generation and *republishes*: the new file
+  starts empty and fills as claims are re-featurized, while the old file
+  stays intact until :meth:`OutOfCoreClaimStore.prune_generations`.
+* ``written.g<generation>.bin`` — a byte-per-row sidecar marking which
+  memmap rows actually hold data (the matrix is sparse-grown, so row
+  presence cannot be inferred from file size).
+
+Relational pushdown: the two hottest planner loops run *inside* SQLite
+instead of materializing the pool in Python —
+:meth:`OutOfCoreClaimStore.section_aggregates` computes per-section
+cost/utility totals with ``SUM(...) OVER (PARTITION BY section_id)``
+window aggregates, and :meth:`OutOfCoreClaimStore.pruned_candidates`
+evaluates the planner's dominance prune as a window query so
+:meth:`~repro.planning.engine.PlannerEngine.plan_pushdown` receives an
+already-pruned candidate set.  Both prune queries return **exactly** the
+set :func:`~repro.planning.engine.dominance_prune` would keep:
+
+* pinned regime (no cost threshold): the dominance order is total, so
+  ``ROW_NUMBER() OVER (PARTITION BY section_id ORDER BY weight, ord)``
+  with ``weight = cost - w * utility`` (or ``-utility``) reproduces the
+  per-section top-``max_batch_size`` with the same lowest-``ord``
+  tie-break;
+* cost-constrained regime: a claim is kept iff it has fewer than
+  ``max_batch_size`` Pareto dominators (utility no worse, cost no worse,
+  ties by lower ``ord``).  Counting *all* dominators equals counting
+  *kept* dominators — if a dominator was itself pruned, its own ``K``
+  kept dominators transitively dominate the claim — so the correlated
+  ``COUNT(...) < K`` filter matches the Python sweep claim-for-claim.
+
+Everything is stdlib ``sqlite3`` + ``numpy``; no new dependencies.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError, StoreManifestError
+
+__all__ = [
+    "GenerationInfo",
+    "MANIFEST_KIND",
+    "MANIFEST_VERSION",
+    "OutOfCoreClaimStore",
+    "OutOfCoreFeatureBackend",
+    "SectionAggregate",
+]
+
+MANIFEST_KIND = "repro.store/out-of-core"
+MANIFEST_VERSION = 1
+
+#: Memmap files grow in row quanta so bulk ingest does not re-truncate the
+#: file once per chunk.
+_ROW_GROWTH_QUANTUM = 1024
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS claims (
+    ord        INTEGER PRIMARY KEY,
+    claim_id   TEXT NOT NULL UNIQUE,
+    section_id TEXT NOT NULL,
+    retired    INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS claims_by_section ON claims(section_id);
+CREATE TABLE IF NOT EXISTS scores (
+    ord        INTEGER NOT NULL,
+    generation INTEGER NOT NULL,
+    cost       REAL NOT NULL,
+    utility    REAL NOT NULL,
+    PRIMARY KEY (ord, generation)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS feature_generations (
+    generation    INTEGER PRIMARY KEY,
+    dimension     INTEGER NOT NULL,
+    dtype         TEXT NOT NULL,
+    features_file TEXT NOT NULL,
+    written_file  TEXT NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class GenerationInfo:
+    """One published feature generation: its memmap file pair and shape."""
+
+    generation: int
+    dimension: int
+    dtype: str
+    features_file: str
+    written_file: str
+
+
+@dataclass(frozen=True)
+class SectionAggregate:
+    """Per-section totals computed by a SQL window aggregate."""
+
+    section_id: str
+    claim_count: int
+    total_cost: float
+    total_utility: float
+
+
+def _chunks(items: Sequence, size: int = 500) -> Iterable[Sequence]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+class OutOfCoreClaimStore:
+    """Claims, scores and feature rows backed by SQLite and ``numpy.memmap``.
+
+    The store is safe to share across threads: every SQLite access and
+    every memmap (re)mapping happens under one reentrant lock.  Feature
+    *reads* hand out zero-copy read-only views into the mapped file, so a
+    100k-claim pool costs resident memory only for the pages actually
+    touched — :meth:`release` flushes and drops the mappings, which is
+    what tenant passivation calls instead of pickling feature bytes.
+    """
+
+    def __init__(self, directory: str | Path, *, dtype: str = "float32") -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._dtype = np.dtype(dtype)
+        if self._dtype.kind != "f":
+            raise StorageError(f"feature dtype must be floating, got {dtype!r}")
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            str(self._directory / "claims.sqlite3"), check_same_thread=False
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        #: generation -> (features memmap, written memmap)
+        self._maps: dict[int, tuple[np.memmap, np.memmap]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def release(self) -> None:
+        """Flush and drop every memmap handle (resident pages go away).
+
+        The store stays usable: the next feature read or write remaps the
+        files on demand.  This is the passivation hook — a parked tenant
+        keeps its claims on disk and holds no matrix pages in RAM.
+        """
+        with self._lock:
+            for features, written in self._maps.values():
+                features.flush()
+                written.flush()
+            self._maps.clear()
+
+    def close(self) -> None:
+        """Release mappings and close the SQLite connection."""
+        with self._lock:
+            if self._closed:
+                return
+            self.release()
+            self._conn.close()
+            self._closed = True
+
+    def __enter__(self) -> OutOfCoreClaimStore:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _guard_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"store at {self._directory} is closed")
+
+    # ------------------------------------------------------------------ #
+    # claim catalog
+    # ------------------------------------------------------------------ #
+    def register_claims(self, items: Iterable[tuple[str, str]]) -> int:
+        """Record ``(claim_id, section_id)`` pairs; returns how many were new.
+
+        Registration is idempotent — a claim keeps the ``ord`` (and the
+        section) of its first registration, so memmap row indices are
+        stable across re-ingestion.
+        """
+        rows = list(items)
+        with self._lock:
+            self._guard_open()
+            before = self._conn.execute("SELECT COUNT(*) FROM claims").fetchone()[0]
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO claims(claim_id, section_id) VALUES (?, ?)",
+                rows,
+            )
+            self._conn.commit()
+            after = self._conn.execute("SELECT COUNT(*) FROM claims").fetchone()[0]
+        return int(after - before)
+
+    @property
+    def claim_count(self) -> int:
+        with self._lock:
+            self._guard_open()
+            return int(self._conn.execute("SELECT COUNT(*) FROM claims").fetchone()[0])
+
+    @property
+    def pending_count(self) -> int:
+        """Claims not yet retired (the planner's live pool size)."""
+        with self._lock:
+            self._guard_open()
+            return int(
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM claims WHERE retired = 0"
+                ).fetchone()[0]
+            )
+
+    def pending_claim_ids(self) -> list[str]:
+        with self._lock:
+            self._guard_open()
+            return [
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT claim_id FROM claims WHERE retired = 0 ORDER BY ord"
+                )
+            ]
+
+    def section_ids(self) -> list[str]:
+        with self._lock:
+            self._guard_open()
+            return [
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT DISTINCT section_id FROM claims ORDER BY section_id"
+                )
+            ]
+
+    def retire(self, claim_ids: Sequence[str]) -> int:
+        """Drop claims from the pending pool (they stay in the catalog)."""
+        with self._lock:
+            self._guard_open()
+            before = self._conn.execute(
+                "SELECT COUNT(*) FROM claims WHERE retired = 1"
+            ).fetchone()[0]
+            for chunk in _chunks(list(claim_ids)):
+                marks = ",".join("?" * len(chunk))
+                self._conn.execute(
+                    f"UPDATE claims SET retired = 1 WHERE claim_id IN ({marks})",
+                    list(chunk),
+                )
+            self._conn.commit()
+            after = self._conn.execute(
+                "SELECT COUNT(*) FROM claims WHERE retired = 1"
+            ).fetchone()[0]
+        return int(after - before)
+
+    def restore_pending(self) -> None:
+        """Un-retire every claim (rebuild the full pool, e.g. for replays)."""
+        with self._lock:
+            self._guard_open()
+            self._conn.execute("UPDATE claims SET retired = 0")
+            self._conn.commit()
+
+    def _ords(
+        self, claim_ids: Sequence[str], *, strict: bool = True
+    ) -> dict[str, int]:
+        """Map claim ids to memmap row ordinals (``strict`` = all must exist)."""
+        out: dict[str, int] = {}
+        with self._lock:
+            self._guard_open()
+            for chunk in _chunks(list(claim_ids)):
+                marks = ",".join("?" * len(chunk))
+                for claim_id, ordinal in self._conn.execute(
+                    f"SELECT claim_id, ord FROM claims WHERE claim_id IN ({marks})",
+                    list(chunk),
+                ):
+                    out[claim_id] = int(ordinal)
+        if strict and len(out) != len(set(claim_ids)):
+            missing = [claim_id for claim_id in claim_ids if claim_id not in out]
+            raise StorageError(
+                f"{len(missing)} claim(s) not registered in the store "
+                f"(first: {missing[0]!r})"
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # feature generations (memmap files)
+    # ------------------------------------------------------------------ #
+    def generations(self) -> list[GenerationInfo]:
+        with self._lock:
+            self._guard_open()
+            return [
+                GenerationInfo(*row)
+                for row in self._conn.execute(
+                    "SELECT generation, dimension, dtype, features_file, "
+                    "written_file FROM feature_generations ORDER BY generation"
+                )
+            ]
+
+    def _generation_info(self, generation: int) -> GenerationInfo | None:
+        row = self._conn.execute(
+            "SELECT generation, dimension, dtype, features_file, written_file "
+            "FROM feature_generations WHERE generation = ?",
+            (generation,),
+        ).fetchone()
+        return GenerationInfo(*row) if row is not None else None
+
+    def publish_generation(self, generation: int, dimension: int) -> GenerationInfo:
+        """Register generation ``generation`` with feature width ``dimension``.
+
+        Publishing is idempotent; republishing with a different dimension
+        is a :class:`~repro.errors.StorageError` (the featurizer's width is
+        fixed within a generation by construction).
+        """
+        if dimension < 1:
+            raise StorageError("feature dimension must be at least 1")
+        with self._lock:
+            self._guard_open()
+            info = self._generation_info(generation)
+            if info is not None:
+                if info.dimension != dimension:
+                    raise StorageError(
+                        f"generation {generation} already published with "
+                        f"dimension {info.dimension}, not {dimension}"
+                    )
+                return info
+            info = GenerationInfo(
+                generation=generation,
+                dimension=dimension,
+                dtype=self._dtype.name,
+                features_file=f"features.g{generation}.bin",
+                written_file=f"written.g{generation}.bin",
+            )
+            self._conn.execute(
+                "INSERT INTO feature_generations VALUES (?, ?, ?, ?, ?)",
+                (
+                    info.generation,
+                    info.dimension,
+                    info.dtype,
+                    info.features_file,
+                    info.written_file,
+                ),
+            )
+            self._conn.commit()
+            (self._directory / info.features_file).touch()
+            (self._directory / info.written_file).touch()
+            return info
+
+    def drop_generation(self, generation: int) -> bool:
+        """Delete one generation's memmap files, scores and registry row."""
+        with self._lock:
+            self._guard_open()
+            info = self._generation_info(generation)
+            if info is None:
+                return False
+            maps = self._maps.pop(generation, None)
+            if maps is not None:
+                maps[0].flush()
+                maps[1].flush()
+            self._conn.execute(
+                "DELETE FROM feature_generations WHERE generation = ?", (generation,)
+            )
+            self._conn.execute("DELETE FROM scores WHERE generation = ?", (generation,))
+            self._conn.commit()
+            (self._directory / info.features_file).unlink(missing_ok=True)
+            (self._directory / info.written_file).unlink(missing_ok=True)
+            return True
+
+    def prune_generations(self, keep_latest: int = 1) -> int:
+        """Drop all but the ``keep_latest`` newest generations; returns count."""
+        if keep_latest < 1:
+            raise StorageError("keep_latest must be at least 1")
+        with self._lock:
+            self._guard_open()
+            stale = [
+                info.generation for info in self.generations()[: -keep_latest or None]
+            ]
+            dropped = 0
+            for generation in stale:
+                dropped += bool(self.drop_generation(generation))
+            return dropped
+
+    def _map_rows(self, generation: int) -> int:
+        info = self._generation_info(generation)
+        if info is None:
+            return 0
+        size = (self._directory / info.features_file).stat().st_size
+        return size // (info.dimension * np.dtype(info.dtype).itemsize)
+
+    def _maps_for(self, generation: int) -> tuple[np.memmap, np.memmap] | None:
+        """The (features, written) mappings of a generation, or ``None`` when
+        the generation was never published or holds no rows yet."""
+        maps = self._maps.get(generation)
+        if maps is not None:
+            return maps
+        info = self._generation_info(generation)
+        if info is None:
+            return None
+        rows = self._map_rows(generation)
+        if rows == 0:
+            return None
+        features = np.memmap(
+            self._directory / info.features_file,
+            dtype=np.dtype(info.dtype),
+            mode="r+",
+            shape=(rows, info.dimension),
+        )
+        written = np.memmap(
+            self._directory / info.written_file,
+            dtype=np.uint8,
+            mode="r+",
+            shape=(rows,),
+        )
+        self._maps[generation] = (features, written)
+        return features, written
+
+    def _grow_to(self, generation: int, rows_needed: int) -> tuple[np.memmap, np.memmap]:
+        """Extend the generation's files to at least ``rows_needed`` rows."""
+        info = self._generation_info(generation)
+        if info is None:  # pragma: no cover - callers publish first
+            raise StorageError(f"generation {generation} was never published")
+        current = self._map_rows(generation)
+        if current < rows_needed:
+            target = max(
+                rows_needed,
+                current * 2,
+                _ROW_GROWTH_QUANTUM,
+            )
+            maps = self._maps.pop(generation, None)
+            if maps is not None:
+                maps[0].flush()
+                maps[1].flush()
+            item = np.dtype(info.dtype).itemsize
+            with (self._directory / info.features_file).open("r+b") as handle:
+                handle.truncate(target * info.dimension * item)
+            with (self._directory / info.written_file).open("r+b") as handle:
+                handle.truncate(target)
+        maps = self._maps_for(generation)
+        assert maps is not None  # the file now has rows
+        return maps
+
+    # ------------------------------------------------------------------ #
+    # feature rows
+    # ------------------------------------------------------------------ #
+    def write_features(
+        self, generation: int, claim_ids: Sequence[str], matrix: np.ndarray
+    ) -> None:
+        """Store one feature row per claim into the generation's memmap."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != len(claim_ids):
+            raise StorageError(
+                f"feature matrix shape {matrix.shape} does not match "
+                f"{len(claim_ids)} claim id(s)"
+            )
+        if not len(claim_ids):
+            return
+        with self._lock:
+            self._guard_open()
+            self.publish_generation(generation, int(matrix.shape[1]))
+            ords = self._ords(claim_ids)
+            indices = np.array([ords[claim_id] for claim_id in claim_ids])
+            features, written = self._grow_to(generation, int(indices.max()) + 1)
+            if matrix.shape[1] != features.shape[1]:
+                raise StorageError(
+                    f"feature matrix has dimension {matrix.shape[1]}, "
+                    f"generation {generation} is published at {features.shape[1]}"
+                )
+            features[indices] = matrix.astype(self._dtype, copy=False)
+            written[indices] = 1
+
+    def read_features(
+        self, generation: int, claim_ids: Sequence[str]
+    ) -> dict[str, np.ndarray]:
+        """Zero-copy read-only rows for the claims present in ``generation``.
+
+        Unregistered claims and claims never featurized under this
+        generation are simply omitted, mirroring a cache miss.
+        """
+        with self._lock:
+            self._guard_open()
+            maps = self._maps_for(generation)
+            if maps is None:
+                return {}
+            features, written = maps
+            ords = self._ords(claim_ids, strict=False)
+            out: dict[str, np.ndarray] = {}
+            rows = features.shape[0]
+            for claim_id in claim_ids:
+                ordinal = ords.get(claim_id)
+                if ordinal is None or ordinal >= rows or not written[ordinal]:
+                    continue
+                row = features[ordinal]
+                row.flags.writeable = False
+                out[claim_id] = row
+            return out
+
+    def forget_features(self, generation: int, claim_ids: Sequence[str]) -> int:
+        """Clear the written flag of specific rows; returns how many were set."""
+        with self._lock:
+            self._guard_open()
+            maps = self._maps_for(generation)
+            if maps is None:
+                return 0
+            _, written = maps
+            ords = self._ords(claim_ids, strict=False)
+            rows = written.shape[0]
+            indices = [
+                ordinal
+                for ordinal in ords.values()
+                if ordinal < rows and written[ordinal]
+            ]
+            if indices:
+                written[np.array(indices)] = 0
+            return len(indices)
+
+    def written_count(self, generation: int) -> int:
+        """How many claims hold a feature row under ``generation``."""
+        with self._lock:
+            self._guard_open()
+            maps = self._maps_for(generation)
+            if maps is None:
+                return 0
+            return int(np.count_nonzero(maps[1]))
+
+    # ------------------------------------------------------------------ #
+    # scores
+    # ------------------------------------------------------------------ #
+    def write_scores(
+        self,
+        generation: int,
+        claim_ids: Sequence[str],
+        costs: Sequence[float],
+        utilities: Sequence[float],
+    ) -> None:
+        """Upsert per-generation ``(cost, utility)`` rows for ``claim_ids``."""
+        if not (len(claim_ids) == len(costs) == len(utilities)):
+            raise StorageError("claim_ids, costs and utilities must align")
+        with self._lock:
+            self._guard_open()
+            ords = self._ords(claim_ids)
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO scores(ord, generation, cost, utility) "
+                "VALUES (?, ?, ?, ?)",
+                [
+                    (ords[claim_id], generation, float(cost), float(utility))
+                    for claim_id, cost, utility in zip(claim_ids, costs, utilities)
+                ],
+            )
+            self._conn.commit()
+
+    def scored_count(self, generation: int) -> int:
+        with self._lock:
+            self._guard_open()
+            return int(
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM scores WHERE generation = ?", (generation,)
+                ).fetchone()[0]
+            )
+
+    def unscored_claim_ids(self, generation: int) -> list[str]:
+        """Pending claims with no score row under ``generation``."""
+        with self._lock:
+            self._guard_open()
+            return [
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT c.claim_id FROM claims c "
+                    "LEFT JOIN scores s ON s.ord = c.ord AND s.generation = ? "
+                    "WHERE c.retired = 0 AND s.ord IS NULL ORDER BY c.ord",
+                    (generation,),
+                )
+            ]
+
+    def scores_for(
+        self, generation: int, claim_ids: Sequence[str]
+    ) -> dict[str, tuple[float, float]]:
+        """The stored ``(cost, utility)`` of the given claims (omitting gaps)."""
+        out: dict[str, tuple[float, float]] = {}
+        with self._lock:
+            self._guard_open()
+            for chunk in _chunks(list(claim_ids)):
+                marks = ",".join("?" * len(chunk))
+                for claim_id, cost, utility in self._conn.execute(
+                    "SELECT c.claim_id, s.cost, s.utility FROM claims c "
+                    "JOIN scores s ON s.ord = c.ord "
+                    f"WHERE s.generation = ? AND c.claim_id IN ({marks})",
+                    [generation, *chunk],
+                ):
+                    out[claim_id] = (float(cost), float(utility))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # relational pushdown
+    # ------------------------------------------------------------------ #
+    def section_aggregates(self, generation: int) -> list[SectionAggregate]:
+        """Per-section pending totals via a SQL window aggregate.
+
+        ``SUM(...) OVER (PARTITION BY section_id)`` computes every
+        section's claim count, total verification cost and total utility
+        in one pass inside SQLite — the planner's per-section bookkeeping
+        without materializing the pool in Python.
+        """
+        with self._lock:
+            self._guard_open()
+            rows = self._conn.execute(
+                "SELECT DISTINCT c.section_id, "
+                "       COUNT(*) OVER w, SUM(s.cost) OVER w, SUM(s.utility) OVER w "
+                "FROM claims c JOIN scores s ON s.ord = c.ord AND s.generation = ? "
+                "WHERE c.retired = 0 "
+                "WINDOW w AS (PARTITION BY c.section_id) "
+                "ORDER BY c.section_id",
+                (generation,),
+            ).fetchall()
+        return [
+            SectionAggregate(
+                section_id=row[0],
+                claim_count=int(row[1]),
+                total_cost=float(row[2]),
+                total_utility=float(row[3]),
+            )
+            for row in rows
+        ]
+
+    def pruned_candidates(
+        self,
+        generation: int,
+        max_batch_size: int,
+        *,
+        cost_constrained: bool,
+        utility_weight: float | None,
+    ) -> list[tuple[str, str, float, float]]:
+        """The dominance-prune survivors, computed inside SQLite.
+
+        Returns ``(claim_id, section_id, cost, utility)`` tuples in ``ord``
+        (arrival) order — exactly the set
+        :func:`~repro.planning.engine.dominance_prune` keeps for the same
+        regime, so the planner can solve over this pre-filtered pool and
+        produce a claim-for-claim identical selection (see the module
+        docstring for the equivalence argument).
+        """
+        if max_batch_size < 1:
+            raise StorageError("max_batch_size must be at least 1")
+        with self._lock:
+            self._guard_open()
+            self._conn.execute("DROP TABLE IF EXISTS temp.pushdown_pool")
+            self._conn.execute(
+                "CREATE TEMP TABLE pushdown_pool AS "
+                "SELECT c.ord AS ord, c.claim_id AS claim_id, "
+                "       c.section_id AS section_id, s.cost AS cost, "
+                "       s.utility AS utility "
+                "FROM claims c JOIN scores s ON s.ord = c.ord AND s.generation = ? "
+                "WHERE c.retired = 0",
+                (generation,),
+            )
+            try:
+                if not cost_constrained:
+                    # Total order: rank by the per-claim objective weight
+                    # (ties by arrival order) and keep each section's best
+                    # max_batch_size — dominance_prune's exact keep set.
+                    if utility_weight is None:
+                        weight_expr = "-utility"
+                        params: list[object] = [max_batch_size]
+                    else:
+                        weight_expr = "cost - ? * utility"
+                        params = [float(utility_weight), max_batch_size]
+                    rows = self._conn.execute(
+                        "SELECT claim_id, section_id, cost, utility FROM ("
+                        "  SELECT *, ROW_NUMBER() OVER ("
+                        f"    PARTITION BY section_id ORDER BY {weight_expr}, ord"
+                        "  ) AS rank FROM pushdown_pool"
+                        ") WHERE rank <= ? ORDER BY ord",
+                        params,
+                    ).fetchall()
+                else:
+                    # Pareto order: keep a claim iff fewer than
+                    # max_batch_size claims of its section dominate it.
+                    # The index makes the correlated dominator count an
+                    # index range scan, and LIMIT stops counting at K.
+                    self._conn.execute(
+                        "CREATE INDEX pushdown_pool_pareto ON pushdown_pool"
+                        "(section_id, utility, cost, ord)"
+                    )
+                    rows = self._conn.execute(
+                        "SELECT p.claim_id, p.section_id, p.cost, p.utility "
+                        "FROM pushdown_pool p WHERE ("
+                        "  SELECT COUNT(*) FROM ("
+                        "    SELECT 1 FROM pushdown_pool d "
+                        "    WHERE d.section_id = p.section_id "
+                        "      AND d.utility >= p.utility AND d.cost <= p.cost "
+                        "      AND (d.utility > p.utility OR d.cost < p.cost "
+                        "           OR d.ord < p.ord) "
+                        "    LIMIT ?)"
+                        ") < ? ORDER BY p.ord",
+                        (max_batch_size, max_batch_size),
+                    ).fetchall()
+            finally:
+                self._conn.execute("DROP TABLE IF EXISTS temp.pushdown_pool")
+        return [
+            (str(row[0]), str(row[1]), float(row[2]), float(row[3])) for row in rows
+        ]
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    def manifest(self) -> dict:
+        """A JSON-safe description of the on-disk layout.
+
+        Snapshots record *this* instead of feature bytes: the manifest
+        names the directory, the catalog database and every published
+        generation's memmap files, which is all
+        :meth:`from_manifest` needs to reattach.
+        """
+        with self._lock:
+            self._guard_open()
+            return {
+                "kind": MANIFEST_KIND,
+                "version": MANIFEST_VERSION,
+                "directory": str(self._directory),
+                "database": "claims.sqlite3",
+                "dtype": self._dtype.name,
+                "claim_count": self.claim_count,
+                "generations": [
+                    {
+                        "generation": info.generation,
+                        "dimension": info.dimension,
+                        "dtype": info.dtype,
+                        "features_file": info.features_file,
+                        "written_file": info.written_file,
+                    }
+                    for info in self.generations()
+                ],
+            }
+
+    @classmethod
+    def from_manifest(cls, manifest: Mapping) -> OutOfCoreClaimStore:
+        """Reattach to the store a manifest describes, validating the files."""
+        if not isinstance(manifest, Mapping):
+            raise StoreManifestError(f"manifest must be a mapping, got {manifest!r}")
+        if manifest.get("kind") != MANIFEST_KIND:
+            raise StoreManifestError(
+                f"manifest kind {manifest.get('kind')!r} is not {MANIFEST_KIND!r}"
+            )
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise StoreManifestError(
+                f"manifest version {manifest.get('version')!r} is not supported"
+            )
+        directory = Path(str(manifest.get("directory", "")))
+        if not directory.is_dir():
+            raise StoreManifestError(f"store directory {directory} does not exist")
+        if not (directory / str(manifest.get("database", ""))).is_file():
+            raise StoreManifestError(f"store catalog missing under {directory}")
+        store = cls(directory, dtype=str(manifest.get("dtype", "float32")))
+        try:
+            published = {info.generation: info for info in store.generations()}
+            for entry in manifest.get("generations", []):
+                generation = entry.get("generation")
+                info = published.get(generation)
+                if info is None:
+                    raise StoreManifestError(
+                        f"manifest names generation {generation}, which the "
+                        f"catalog at {directory} does not know"
+                    )
+                for name in (info.features_file, info.written_file):
+                    if not (directory / name).is_file():
+                        raise StoreManifestError(
+                            f"generation {generation} file {name} is missing "
+                            f"under {directory}"
+                        )
+        except StoreManifestError:
+            store.close()
+            raise
+        return store
+
+
+class OutOfCoreFeatureBackend:
+    """Plugs an :class:`OutOfCoreClaimStore` into ``ClaimFeatureStore``.
+
+    The backend implements :class:`~repro.store.backend.FeatureBackend`
+    over the store's current featurizer generation.  ``reset`` (called by
+    the feature store on a vocabulary refit) adopts the new generation —
+    rows republish lazily into a fresh memmap file as claims are
+    re-featurized, and the old generation's file survives until pruned.
+    Because rows are content-addressed by ``(claim, generation)``, a
+    reset back to an already-published generation (e.g. after rehydrating
+    a passivated tenant) serves the existing rows without recomputation.
+
+    The capacity bound is advisory here: rows live in the mapped file, not
+    the Python heap, so "eviction" is the OS reclaiming cold pages (or
+    :meth:`release` dropping all of them at once).
+    """
+
+    def __init__(self, store: OutOfCoreClaimStore, generation: int = 0) -> None:
+        self._store = store
+        self._generation = int(generation)
+
+    @property
+    def store(self) -> OutOfCoreClaimStore:
+        return self._store
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def get(self, claim_id: str) -> np.ndarray | None:
+        return self._store.read_features(self._generation, [claim_id]).get(claim_id)
+
+    def get_many(self, claim_ids: Sequence[str]) -> dict[str, np.ndarray]:
+        return self._store.read_features(self._generation, claim_ids)
+
+    def put(self, claim_id: str, row: np.ndarray, section_id: str = "") -> None:
+        self.put_many([claim_id], np.asarray(row)[None, :], [section_id])
+
+    def put_many(
+        self,
+        claim_ids: Sequence[str],
+        matrix: np.ndarray,
+        section_ids: Sequence[str] | None = None,
+    ) -> None:
+        if section_ids is None:
+            section_ids = [""] * len(claim_ids)
+        self._store.register_claims(zip(claim_ids, section_ids))
+        self._store.write_features(self._generation, claim_ids, np.asarray(matrix))
+
+    def forget(self, claim_ids: Sequence[str]) -> int:
+        return self._store.forget_features(self._generation, claim_ids)
+
+    def reset(self, generation: int) -> None:
+        self._generation = int(generation)
+
+    def set_capacity(self, max_rows: int | None) -> None:
+        # Rows are memory-mapped, not resident: the bound is moot.
+        return None
+
+    def release(self) -> None:
+        """Flush and drop the mapped pages (the passivation hook)."""
+        self._store.release()
+
+    def manifest(self) -> dict:
+        return self._store.manifest()
+
+    def __len__(self) -> int:
+        return self._store.written_count(self._generation)

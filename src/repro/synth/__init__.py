@@ -7,6 +7,11 @@ synthetic equivalent that preserves the statistical shape the algorithms
 depend on: wide year-keyed tables, skewed property-frequency distributions
 (Table 1), a roughly even split of explicit and general claims, section
 locality and a configurable rate of injected errors.
+
+Layering contract: layer 9 of the enforced import DAG (peer of ``core``) —
+may import ``crowd``, ``pipeline``/``planning`` and everything below; never
+``api``, ``runtime``, ``serving`` or ``gateway``. Enforced by reprolint;
+see ``docs/architecture.md``.
 """
 
 from repro.synth.energy_data import EnergyDataConfig, build_database

@@ -9,6 +9,11 @@ substitute deterministic hashed random-projection embeddings
 distributed representation.  Numeric mentions ("3%", "nine-fold",
 "22 200 TWh") are parsed by :mod:`repro.text.numbers` for the syntactical
 extraction of explicit-claim parameters.
+
+Layering contract: layer 2 of the enforced import DAG (peer of
+``analysis``/``dataset``/``ml``) — may import only ``errors``, ``config``
+and same-layer peers; never ``sqlengine`` or anything above. Enforced by
+reprolint; see ``docs/architecture.md``.
 """
 
 from repro.text.embeddings import HashingWordEmbeddings

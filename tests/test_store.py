@@ -1,0 +1,573 @@
+"""Out-of-core claim store: memmap lifecycle, SQL pushdown parity, serving.
+
+The two guarantees under test:
+
+* **Exactness** — the relational pushdown (section aggregates and the
+  dominance pre-filter evaluated inside SQLite) must be byte-identical to
+  the in-RAM planner path: same kept claims, same selections, in both
+  planner regimes.  The hypothesis properties drive randomized pools
+  through :meth:`~repro.planning.engine.PlannerEngine.plan_pushdown` and
+  the materialized :meth:`~repro.planning.engine.PlannerEngine.plan` and
+  require the exact same claim ids, not just equal objectives.
+* **Durability of the row cache** — feature rows round-trip through the
+  memmap files, survive a close/reattach via the manifest, and vanish
+  from view (without touching the old file) when the featurizer
+  generation bumps.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.claims.model import Claim
+from repro.config import BatchingConfig, ScrutinizerConfig
+from repro.errors import StorageError, StoreManifestError
+from repro.pipeline.feature_store import ClaimFeatureStore
+from repro.planning.batching import BatchCandidate
+from repro.planning.engine import PlannerEngine
+from repro.serving.server import AdmissionPolicy, VerificationServer
+from repro.store import (
+    InMemoryFeatureBackend,
+    OutOfCoreClaimStore,
+    OutOfCoreFeatureBackend,
+)
+from repro.synth.energy_data import EnergyDataConfig
+from repro.synth.report_generator import SyntheticCorpusConfig, generate_corpus
+from repro.translation.preprocess import ClaimPreprocessor
+
+
+def _register(store: OutOfCoreClaimStore, count: int, sections: int = 4) -> list[str]:
+    ids = [f"c{index:04d}" for index in range(count)]
+    store.register_claims(
+        (claim_id, f"sec{index % sections:02d}") for index, claim_id in enumerate(ids)
+    )
+    return ids
+
+
+def _claim(claim_id: str, text: str) -> Claim:
+    return Claim(
+        claim_id=claim_id,
+        text=text,
+        sentence_text=text,
+        section_id="s1",
+        is_explicit=True,
+        parameter=0.03,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# catalog
+# ---------------------------------------------------------------------- #
+class TestCatalog:
+    def test_registration_is_idempotent_and_orders_by_arrival(self, tmp_path):
+        with OutOfCoreClaimStore(tmp_path) as store:
+            assert store.register_claims([("a", "s0"), ("b", "s1")]) == 2
+            # Re-registration keeps the first section and adds nothing.
+            assert store.register_claims([("b", "s9"), ("c", "s0")]) == 1
+            assert store.claim_count == 3
+            assert store.pending_claim_ids() == ["a", "b", "c"]
+            assert store.section_ids() == ["s0", "s1"]
+
+    def test_retire_and_restore(self, tmp_path):
+        with OutOfCoreClaimStore(tmp_path) as store:
+            _register(store, 5)
+            assert store.retire(["c0001", "c0003", "missing"]) == 2
+            assert store.pending_count == 3
+            assert "c0001" not in store.pending_claim_ids()
+            store.restore_pending()
+            assert store.pending_count == 5
+
+    def test_closed_store_refuses_access(self, tmp_path):
+        store = OutOfCoreClaimStore(tmp_path)
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(StorageError):
+            store.claim_count
+
+    def test_non_float_dtype_is_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            OutOfCoreClaimStore(tmp_path, dtype="int32")
+
+
+# ---------------------------------------------------------------------- #
+# feature rows (memmap)
+# ---------------------------------------------------------------------- #
+class TestFeatureRows:
+    def test_round_trip_is_exact_and_read_only(self, tmp_path):
+        rng = np.random.default_rng(7)
+        with OutOfCoreClaimStore(tmp_path, dtype="float64") as store:
+            ids = _register(store, 10)
+            matrix = rng.normal(size=(10, 6))
+            store.write_features(0, ids[:6], matrix[:6])
+            store.write_features(0, ids[6:], matrix[6:])
+            rows = store.read_features(0, ids + ["ghost"])
+            assert set(rows) == set(ids)
+            for index, claim_id in enumerate(ids):
+                np.testing.assert_array_equal(rows[claim_id], matrix[index])
+                assert not rows[claim_id].flags.writeable
+            assert store.written_count(0) == 10
+
+    def test_unwritten_rows_are_omitted_like_cache_misses(self, tmp_path):
+        with OutOfCoreClaimStore(tmp_path) as store:
+            ids = _register(store, 4)
+            store.write_features(0, ids[:2], np.ones((2, 3)))
+            assert set(store.read_features(0, ids)) == set(ids[:2])
+            assert store.forget_features(0, ids) == 2
+            assert store.read_features(0, ids) == {}
+
+    def test_release_keeps_the_store_usable(self, tmp_path):
+        with OutOfCoreClaimStore(tmp_path) as store:
+            ids = _register(store, 3)
+            store.write_features(0, ids, np.ones((3, 4)))
+            store.release()  # drop the mappings...
+            rows = store.read_features(0, ids)  # ...and remap on demand
+            assert len(rows) == 3
+
+    def test_generation_bump_hides_old_rows_without_destroying_them(self, tmp_path):
+        with OutOfCoreClaimStore(tmp_path, dtype="float64") as store:
+            ids = _register(store, 4)
+            old = np.full((4, 3), 1.5)
+            store.write_features(0, ids, old)
+            # The refitted vocabulary has a different width: a fresh file.
+            assert store.read_features(1, ids) == {}
+            new = np.full((4, 5), 2.5)
+            store.write_features(1, ids, new)
+            np.testing.assert_array_equal(store.read_features(1, ids)[ids[0]], new[0])
+            # The old generation is intact until it is pruned away.
+            np.testing.assert_array_equal(store.read_features(0, ids)[ids[0]], old[0])
+            assert store.prune_generations(keep_latest=1) == 1
+            assert store.read_features(0, ids) == {}
+            assert [info.generation for info in store.generations()] == [1]
+            assert not (tmp_path / "features.g0.bin").exists()
+
+    def test_republishing_a_generation_at_another_width_fails(self, tmp_path):
+        with OutOfCoreClaimStore(tmp_path) as store:
+            ids = _register(store, 2)
+            store.write_features(0, ids, np.ones((2, 3)))
+            with pytest.raises(StorageError):
+                store.write_features(0, ids, np.ones((2, 4)))
+
+    def test_misaligned_matrix_is_rejected(self, tmp_path):
+        with OutOfCoreClaimStore(tmp_path) as store:
+            ids = _register(store, 2)
+            with pytest.raises(StorageError):
+                store.write_features(0, ids, np.ones((3, 3)))
+            with pytest.raises(StorageError):
+                store.write_features(0, ["nobody"], np.ones((1, 3)))
+
+
+# ---------------------------------------------------------------------- #
+# manifest
+# ---------------------------------------------------------------------- #
+class TestManifest:
+    def _populated(self, directory) -> tuple[OutOfCoreClaimStore, list[str], np.ndarray]:
+        store = OutOfCoreClaimStore(directory, dtype="float64")
+        ids = _register(store, 6)
+        matrix = np.arange(6.0 * 4).reshape(6, 4)
+        store.write_features(0, ids, matrix)
+        return store, ids, matrix
+
+    def test_reattach_serves_identical_rows(self, tmp_path):
+        store, ids, matrix = self._populated(tmp_path)
+        manifest = json.loads(json.dumps(store.manifest()))  # JSON-safe
+        store.close()
+        with OutOfCoreClaimStore.from_manifest(manifest) as revived:
+            rows = revived.read_features(0, ids)
+            for index, claim_id in enumerate(ids):
+                np.testing.assert_array_equal(rows[claim_id], matrix[index])
+            assert revived.claim_count == 6
+
+    def test_manifest_validation(self, tmp_path):
+        store, _, _ = self._populated(tmp_path)
+        manifest = store.manifest()
+        store.close()
+        for broken in (
+            "not a mapping",
+            {**manifest, "kind": "something/else"},
+            {**manifest, "version": 999},
+            {**manifest, "directory": str(tmp_path / "nowhere")},
+            {**manifest, "database": "missing.sqlite3"},
+            {
+                **manifest,
+                "generations": [{**manifest["generations"][0], "generation": 42}],
+            },
+        ):
+            with pytest.raises(StoreManifestError):
+                OutOfCoreClaimStore.from_manifest(broken)
+
+    def test_manifest_rejects_deleted_generation_file(self, tmp_path):
+        store, _, _ = self._populated(tmp_path)
+        manifest = store.manifest()
+        store.close()
+        (tmp_path / "features.g0.bin").unlink()
+        with pytest.raises(StoreManifestError):
+            OutOfCoreClaimStore.from_manifest(manifest)
+
+
+# ---------------------------------------------------------------------- #
+# relational pushdown: exactness properties
+# ---------------------------------------------------------------------- #
+@st.composite
+def _pools(draw):
+    size = draw(st.integers(min_value=3, max_value=24))
+    section_count = draw(st.integers(min_value=1, max_value=4))
+    utilities = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0), min_size=size, max_size=size
+        )
+    )
+    costs = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=60.0), min_size=size, max_size=size
+        )
+    )
+    sections = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=section_count - 1),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    reads = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=40.0),
+            min_size=section_count,
+            max_size=section_count,
+        )
+    )
+    max_batch = draw(st.integers(min_value=1, max_value=size))
+    weight = draw(st.sampled_from([0.0, 1.0, 5.0, 30.0]))
+    return utilities, costs, sections, reads, max_batch, weight
+
+
+def _loaded_pool(scratch, utilities, costs, sections):
+    """One store plus the equivalent materialized candidate list."""
+    ids = [f"c{index:04d}" for index in range(len(utilities))]
+    section_ids = [f"sec{section:02d}" for section in sections]
+    store = OutOfCoreClaimStore(scratch)
+    store.register_claims(zip(ids, section_ids))
+    store.write_scores(0, ids, costs, utilities)
+    candidates = [
+        BatchCandidate(
+            claim_id=claim_id,
+            section_id=section_id,
+            verification_cost=float(cost),
+            training_utility=float(utility),
+        )
+        for claim_id, section_id, cost, utility in zip(
+            ids, section_ids, costs, utilities
+        )
+    ]
+    return store, candidates
+
+
+class TestPushdownExactness:
+    """SQL pre-filtering must reproduce the in-RAM selections exactly."""
+
+    @settings(deadline=None, max_examples=25)
+    @given(_pools())
+    def test_pinned_regime_selects_identically(self, pool):
+        utilities, costs, sections, reads, max_batch, weight = pool
+        config = BatchingConfig(
+            min_batch_size=1, max_batch_size=max_batch, utility_weight=weight
+        )
+        read_costs = {f"sec{j:02d}": reads[j] for j in range(len(reads))}
+        with tempfile.TemporaryDirectory() as scratch:
+            store, candidates = _loaded_pool(scratch, utilities, costs, sections)
+            engine = PlannerEngine()
+            materialized = engine.plan(candidates, read_costs, config=config)
+            pushed = engine.plan_pushdown(store, read_costs, config, generation=0)
+            store.close()
+        assert materialized.claim_ids == pushed.claim_ids
+        assert materialized.total_cost == pytest.approx(pushed.total_cost)
+        assert engine.stats.pushdown_plans == 1
+
+    @settings(deadline=None, max_examples=25)
+    @given(_pools(), st.floats(min_value=50.0, max_value=400.0))
+    def test_cost_constrained_regime_selects_identically(self, pool, threshold):
+        utilities, costs, sections, reads, max_batch, weight = pool
+        config = BatchingConfig(
+            min_batch_size=0,
+            max_batch_size=max_batch,
+            cost_threshold=threshold,
+            utility_weight=weight,
+        )
+        read_costs = {f"sec{j:02d}": reads[j] for j in range(len(reads))}
+        with tempfile.TemporaryDirectory() as scratch:
+            store, candidates = _loaded_pool(scratch, utilities, costs, sections)
+            engine = PlannerEngine()
+            materialized = engine.plan(candidates, read_costs, config=config)
+            pushed = engine.plan_pushdown(store, read_costs, config, generation=0)
+            store.close()
+        assert materialized.claim_ids == pushed.claim_ids
+
+    @settings(deadline=None, max_examples=20)
+    @given(_pools())
+    def test_section_aggregates_match_numpy(self, pool):
+        utilities, costs, sections, _, _, _ = pool
+        with tempfile.TemporaryDirectory() as scratch:
+            store, _ = _loaded_pool(scratch, utilities, costs, sections)
+            aggregates = {agg.section_id: agg for agg in store.section_aggregates(0)}
+            store.close()
+        for section in sorted(set(sections)):
+            mask = np.asarray(sections) == section
+            agg = aggregates[f"sec{section:02d}"]
+            assert agg.claim_count == int(mask.sum())
+            assert agg.total_cost == pytest.approx(np.asarray(costs)[mask].sum())
+            assert agg.total_utility == pytest.approx(np.asarray(utilities)[mask].sum())
+
+    def test_pushdown_requires_scored_claims(self, tmp_path):
+        with OutOfCoreClaimStore(tmp_path) as store:
+            ids = _register(store, 4)
+            store.write_scores(0, ids[:2], [10.0, 12.0], [1.0, 2.0])
+            engine = PlannerEngine()
+            with pytest.raises(StorageError):
+                engine.plan_pushdown(
+                    store,
+                    {f"sec{j:02d}": 10.0 for j in range(4)},
+                    BatchingConfig(min_batch_size=1, max_batch_size=2),
+                    generation=0,
+                )
+
+
+# ---------------------------------------------------------------------- #
+# ClaimFeatureStore over the out-of-core backend
+# ---------------------------------------------------------------------- #
+class TestFeatureStoreBackend:
+    def _fixtures(self):
+        claims = [
+            _claim(f"c{index}", text)
+            for index, text in enumerate(
+                [
+                    "electricity demand grew by 2% in 2016",
+                    "renewables supplied 30% of generation",
+                    "coal capacity fell by 5 GW last year",
+                    "wind additions reached a record 9 GW",
+                    "gas prices rose by 12% over the winter",
+                ]
+            )
+        ]
+        return ClaimPreprocessor().fit(claims), claims
+
+    def test_matrix_matches_default_backend_exactly_at_float64(self, tmp_path):
+        preprocessor, claims = self._fixtures()
+        backend = OutOfCoreFeatureBackend(
+            OutOfCoreClaimStore(tmp_path, dtype="float64")
+        )
+        out_of_core = ClaimFeatureStore(preprocessor, backend=backend)
+        in_ram = ClaimFeatureStore(preprocessor)
+        np.testing.assert_array_equal(
+            out_of_core.matrix(claims), in_ram.matrix(claims)
+        )
+        # A second pass serves every row from the memmap, still identical.
+        np.testing.assert_array_equal(
+            out_of_core.matrix(claims), in_ram.matrix(claims)
+        )
+        assert out_of_core.cached_count == len(claims)
+        backend.store.close()
+
+    def test_float32_backend_is_close_and_bounded_loss(self, tmp_path):
+        preprocessor, claims = self._fixtures()
+        backend = OutOfCoreFeatureBackend(
+            OutOfCoreClaimStore(tmp_path, dtype="float32")
+        )
+        store = ClaimFeatureStore(preprocessor, backend=backend)
+        dense = ClaimFeatureStore(preprocessor).matrix(claims)
+        store.matrix(claims)  # populate
+        np.testing.assert_allclose(store.matrix(claims), dense, rtol=1e-6, atol=1e-7)
+        backend.store.close()
+
+    def test_refit_bumps_generation_and_refreshes_rows(self, tmp_path):
+        preprocessor, claims = self._fixtures()
+        backend = OutOfCoreFeatureBackend(
+            OutOfCoreClaimStore(tmp_path, dtype="float64")
+        )
+        store = ClaimFeatureStore(preprocessor, backend=backend)
+        store.matrix(claims)
+        old_generation = store.generation
+        preprocessor.fit_texts(["entirely new vocabulary about solar farms"])
+        # The store adopts the new generation: old rows are not visible...
+        assert store.cached_count == 0
+        assert store.generation > old_generation
+        # ...and fresh vectors match the refitted preprocessor.
+        np.testing.assert_array_equal(
+            store.vector(claims[0]),
+            np.asarray(preprocessor.preprocess(claims[0]).features, dtype=float),
+        )
+        backend.store.close()
+
+    def test_reattach_serves_cached_rows_across_processes(self, tmp_path):
+        preprocessor, claims = self._fixtures()
+        first = OutOfCoreFeatureBackend(OutOfCoreClaimStore(tmp_path, dtype="float64"))
+        populated = ClaimFeatureStore(preprocessor, backend=first).matrix(claims)
+        manifest = first.manifest()
+        first.store.close()
+
+        revived_backend = OutOfCoreFeatureBackend(
+            OutOfCoreClaimStore.from_manifest(manifest)
+        )
+        revived = ClaimFeatureStore(preprocessor, backend=revived_backend)
+        # The rows are already on disk: cached before any featurization.
+        assert revived.cached_count == len(claims)
+        np.testing.assert_array_equal(revived.matrix(claims), populated)
+        revived_backend.store.close()
+
+    def test_attach_backend_swaps_storage_in_place(self, tmp_path):
+        preprocessor, claims = self._fixtures()
+        store = ClaimFeatureStore(preprocessor, max_rows=None)
+        dense = store.matrix(claims)
+        assert isinstance(store.backend, InMemoryFeatureBackend)
+        backend = OutOfCoreFeatureBackend(
+            OutOfCoreClaimStore(tmp_path, dtype="float64")
+        )
+        store.attach_backend(backend)
+        assert store.backend is backend
+        assert store.cached_count == 0  # rows left behind in the old backend
+        np.testing.assert_array_equal(store.matrix(claims), dense)
+        backend.store.close()
+
+
+# ---------------------------------------------------------------------- #
+# snapshots and serving
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def store_corpus():
+    return generate_corpus(
+        SyntheticCorpusConfig(
+            claim_count=24,
+            section_count=4,
+            explicit_fraction=0.5,
+            error_fraction=0.25,
+            data=EnergyDataConfig(relation_count=6, rows_per_relation=10, seed=8),
+            seed=7,
+        )
+    )
+
+
+def _serving_config() -> ScrutinizerConfig:
+    return ScrutinizerConfig(
+        batching=BatchingConfig(min_batch_size=1, max_batch_size=6), seed=11
+    )
+
+
+def _split(corpus, tenant_count):
+    allotments = [[] for _ in range(tenant_count)]
+    for index, claim_id in enumerate(corpus.claim_ids):
+        allotments[index % tenant_count].append(claim_id)
+    return {f"t{index}": tuple(ids) for index, ids in enumerate(allotments)}
+
+
+def _factory(root):
+    """Per-tenant out-of-core backends rooted under one directory.
+
+    float64 keeps the store-backed run bit-identical to the in-RAM run,
+    which is what the verdict-parity assertions below require.
+    """
+
+    def make(tenant_id: str) -> OutOfCoreFeatureBackend:
+        return OutOfCoreFeatureBackend(
+            OutOfCoreClaimStore(root / tenant_id, dtype="float64")
+        )
+
+    return make
+
+
+class TestSnapshotManifest:
+    def test_snapshot_without_out_of_core_backend_omits_manifest(self, store_corpus):
+        from repro.api.service import VerificationService
+        from repro.runtime.snapshot import ServiceSnapshot
+
+        service = VerificationService(store_corpus, _serving_config()).submit()
+        snapshot = service.snapshot()
+        assert snapshot.store_manifest is None
+        payload = snapshot.to_dict()
+        assert "store_manifest" not in payload  # old readers stay compatible
+        assert ServiceSnapshot.from_dict(payload).store_manifest is None
+
+    def test_snapshot_records_and_round_trips_the_manifest(
+        self, store_corpus, tmp_path
+    ):
+        from repro.api.service import VerificationService
+        from repro.runtime.snapshot import ServiceSnapshot
+
+        service = VerificationService(store_corpus, _serving_config()).submit()
+        backend = OutOfCoreFeatureBackend(
+            OutOfCoreClaimStore(tmp_path, dtype="float64")
+        )
+        service.translator.suite.feature_store.attach_backend(backend)
+        snapshot = service.snapshot()
+        assert snapshot.store_manifest is not None
+        restored = ServiceSnapshot.from_json(snapshot.to_json())
+        assert restored.store_manifest == snapshot.store_manifest
+        revived = OutOfCoreClaimStore.from_manifest(restored.store_manifest)
+        revived.close()
+        backend.store.close()
+
+
+class TestServingIntegration:
+    def test_store_backed_server_matches_in_ram_verdicts(
+        self, store_corpus, tmp_path
+    ):
+        tenants = _split(store_corpus, 3)
+        plain = VerificationServer(store_corpus, _serving_config(), executor="serial")
+        backed = VerificationServer(
+            store_corpus,
+            _serving_config(),
+            policy=AdmissionPolicy(max_resident_sessions=1),
+            executor="serial",
+            snapshot_dir=tmp_path / "snapshots",
+            feature_backend_factory=_factory(tmp_path / "stores"),
+        )
+        for tenant_id, claims in tenants.items():
+            plain.submit(tenant_id, claims)
+            backed.submit(tenant_id, claims)
+        plain.run_until_idle()
+        backed.run_until_idle()
+        for tenant_id in tenants:
+            left = {
+                v.claim_id: v.verdict for v in plain.report(tenant_id).verifications
+            }
+            right = {
+                v.claim_id: v.verdict for v in backed.report(tenant_id).verifications
+            }
+            assert left == right
+        # Residency churn passivated tenants, and every passivation dropped
+        # the tenant's mapped feature pages.
+        assert backed.stats.evictions > 0
+        assert backed.stats.store_releases > 0
+        plain.close()
+        backed.close()
+
+    def test_manifest_rehydrates_across_restart_without_factory(
+        self, store_corpus, tmp_path
+    ):
+        """A restarted server reattaches stores from snapshot manifests alone."""
+        tenants = _split(store_corpus, 2)
+        first = VerificationServer(
+            store_corpus,
+            _serving_config(),
+            executor="serial",
+            snapshot_dir=tmp_path / "snapshots",
+            feature_backend_factory=_factory(tmp_path / "stores"),
+        )
+        for tenant_id, claims in tenants.items():
+            first.submit(tenant_id, claims)
+        first.run_round()  # partial progress only
+        first.close()  # passivates everything, snapshots carry manifests
+
+        second = VerificationServer(
+            store_corpus,
+            _serving_config(),
+            executor="serial",
+            snapshot_dir=tmp_path / "snapshots",
+        )
+        assert set(second.adopt_tenants()) == set(tenants)
+        second.run_until_idle()
+        for tenant_id, claims in tenants.items():
+            assert second.verified_claim_ids(tenant_id) == tuple(sorted(claims))
+        second.close()
