@@ -76,7 +76,7 @@ lint:
 # hygiene.  Pure stdlib — always runs.  Pre-existing violations are
 # grandfathered in reprolint.baseline.json; only new ones fail.
 lint-invariants:
-	$(PYTHON) -m repro.analysis src/repro
+	$(PYTHON) -m repro.analysis src/repro --strict-baseline
 
 # Static types for the strict-checked foundations (see mypy.ini).  Skipped
 # with a notice when mypy is absent locally; CI installs it from

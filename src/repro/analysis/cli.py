@@ -78,6 +78,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
         "--rules",
         default=None,
         help="comma-separated rule ids to run (default: all)",
@@ -106,7 +111,7 @@ def _select_rules(spec: str | None) -> list[Rule]:
 
 
 def _render_text(
-    result: MatchResult, *, module_count: int, rule_count: int, out: IO[str]
+    result: MatchResult, *, module_count: int, rules: list[Rule], out: IO[str]
 ) -> None:
     for violation in result.new:
         out.write(violation.render() + "\n")
@@ -118,14 +123,25 @@ def _render_text(
                 f"{entry.key} no longer matches any violation — remove it "
                 "from the baseline\n"
             )
-    by_rule = Counter(violation.rule for violation in result.new)
-    summary = ", ".join(f"{rule}: {count}" for rule, count in sorted(by_rule.items()))
+    new_by_rule = Counter(violation.rule for violation in result.new)
+    baselined_by_rule = Counter(violation.rule for violation in result.baselined)
+    width = max((len(rule.rule_id) for rule in rules), default=0)
+    out.write("\nper-rule violations:\n")
+    for rule in rules:
+        out.write(
+            f"  {rule.rule_id:<{width}}  "
+            f"{new_by_rule.get(rule.rule_id, 0):>3} new  "
+            f"{baselined_by_rule.get(rule.rule_id, 0):>3} baselined\n"
+        )
+    summary = ", ".join(
+        f"{rule}: {count}" for rule, count in sorted(new_by_rule.items())
+    )
     out.write(
         f"\nreprolint: {len(result.new)} new violation(s)"
         + (f" ({summary})" if summary else "")
         + f", {len(result.baselined)} baselined, {len(result.stale)} stale "
         f"baseline entr{'y' if len(result.stale) == 1 else 'ies'} — "
-        f"{module_count} modules, {rule_count} rules\n"
+        f"{module_count} modules, {len(rules)} rules\n"
     )
 
 
@@ -211,14 +227,12 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         baseline = Baseline()
     result = baseline.match(violations)
 
-    if args.format == "json":
+    if args.json or args.format == "json":
         _render_json(
             result, module_count=len(index), rule_count=len(rules), out=out
         )
     else:
-        _render_text(
-            result, module_count=len(index), rule_count=len(rules), out=out
-        )
+        _render_text(result, module_count=len(index), rules=rules, out=out)
 
     if result.new:
         return EXIT_VIOLATIONS

@@ -5,26 +5,39 @@ Every rule is a small, self-contained module under this package;
 defaults.  Tests and embedders can instead construct individual rules
 with custom scopes (e.g. a :class:`LayeringRule` with a different layer
 map) and hand them straight to :func:`repro.analysis.core.run_rules`.
+
+Module-local rules (rng, locks, layering, ...) inspect one file at a
+time; the whole-program rules (lock-order, async-blocking,
+snapshot-reachability, sql-schema) run over the project call graph built
+by :mod:`repro.analysis.graph`.
 """
 
 from __future__ import annotations
 
 from repro.analysis.core import Rule
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
 from repro.analysis.rules.errors_rule import ErrorTaxonomyRule
 from repro.analysis.rules.hygiene import PrintHygieneRule, WallClockRule
 from repro.analysis.rules.layering import DEFAULT_LAYERS, LayeringRule
+from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.locks import LockDisciplineRule
 from repro.analysis.rules.rng import RngDisciplineRule
+from repro.analysis.rules.snapshot_reach import SnapshotReachabilityRule
 from repro.analysis.rules.snapshots import SnapshotCoverageRule
+from repro.analysis.rules.sql_schema import SqlSchemaRule
 
 __all__ = [
+    "AsyncBlockingRule",
     "DEFAULT_LAYERS",
     "ErrorTaxonomyRule",
     "LayeringRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "PrintHygieneRule",
     "RngDisciplineRule",
     "SnapshotCoverageRule",
+    "SnapshotReachabilityRule",
+    "SqlSchemaRule",
     "WallClockRule",
     "default_rules",
 ]
@@ -40,4 +53,8 @@ def default_rules() -> list[Rule]:
         ErrorTaxonomyRule(),
         PrintHygieneRule(),
         WallClockRule(),
+        LockOrderRule(),
+        AsyncBlockingRule(),
+        SnapshotReachabilityRule(),
+        SqlSchemaRule(),
     ]

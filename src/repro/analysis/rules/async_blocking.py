@@ -1,0 +1,205 @@
+"""Rule: coroutines must not reach synchronous blocking calls.
+
+A blocking call on the event loop stalls *every* connection the gateway
+is serving, not just the one that made it.  The sanctioned pattern is a
+``run_in_executor`` / ``asyncio.to_thread`` hop; this pass proves the
+pattern holds **transitively**: starting from every ``async def`` body it
+walks the call graph over ordinary ``call`` edges (a dispatch edge *is*
+the executor hop, so the walk stops there) and flags any reachable
+blocking call:
+
+* ``time.sleep`` (use ``asyncio.sleep``),
+* ``os.fsync`` (the journal's group commit belongs on the flush
+  executor),
+* ``subprocess`` invocations,
+* sqlite3 operations — ``connect`` anywhere, and cursor methods on an
+  attribute the call graph knows was assigned from ``sqlite3.connect``,
+* ``concurrent.futures`` ``.result()`` (receiver named like a future).
+
+The walk does not descend into other ``async def`` functions: an awaited
+coroutine is analyzed from its own root, so each finding is attributed to
+the nearest coroutine that owns the synchronous chain.  The violation is
+attached to the coroutine's ``async def`` line and the message carries
+the witness path down to the blocking call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.analysis.core import ProjectIndex, Rule, Violation
+from repro.analysis.graph import (
+    CALL,
+    CallGraph,
+    FunctionInfo,
+    call_graph,
+    iter_own_nodes,
+)
+from repro.analysis.rules._ast_utils import ImportMap, dotted_name
+
+__all__ = ["AsyncBlockingRule"]
+
+#: Fully qualified call targets that always block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep": "time.sleep",
+    "os.fsync": "os.fsync",
+    "sqlite3.connect": "sqlite3.connect",
+    "subprocess.run": "subprocess.run",
+    "subprocess.call": "subprocess.call",
+    "subprocess.check_call": "subprocess.check_call",
+    "subprocess.check_output": "subprocess.check_output",
+    "subprocess.Popen": "subprocess.Popen",
+}
+
+#: Methods on a ``sqlite3.connect``-typed attribute that hit the database.
+_SQLITE_METHODS = frozenset(
+    {"execute", "executemany", "executescript", "commit", "fetchone", "fetchall"}
+)
+
+
+@dataclass(frozen=True)
+class _BlockingSite:
+    label: str  #: e.g. ``time.sleep`` or ``sqlite3-execute``
+    module_path: str
+    line: int
+
+
+class AsyncBlockingRule(Rule):
+    rule_id = "async-blocking"
+    description = (
+        "no synchronous blocking call (time.sleep, os.fsync, sqlite3, "
+        "subprocess, Future.result) may be reachable from a coroutine "
+        "without a run_in_executor/to_thread hop"
+    )
+    invariant = (
+        "the gateway event loop never stalls on disk or thread waits, so "
+        "one slow tenant cannot freeze every connection"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        graph = call_graph(index)
+        imports_by_module = {
+            module.name: ImportMap(module.tree) for module in index
+        }
+        sites = {
+            function_id: list(
+                self._blocking_sites(
+                    graph, info, imports_by_module[info.module.name]
+                )
+            )
+            for function_id, info in graph.functions.items()
+        }
+        for root_id in sorted(graph.functions):
+            root = graph.functions[root_id]
+            if not root.is_async:
+                continue
+            yield from self._check_coroutine(graph, root, sites)
+
+    # ------------------------------------------------------------------ #
+    # per-function blocking call sites
+    # ------------------------------------------------------------------ #
+    def _blocking_sites(
+        self, graph: CallGraph, info: FunctionInfo, imports: ImportMap
+    ) -> Iterator[_BlockingSite]:
+        dispatched_lines = {
+            edge.line for edge in graph.edges_from(info.name) if edge.kind != CALL
+        }
+        for node in iter_own_nodes(info.node):
+            if not isinstance(node, ast.Call) or node.lineno in dispatched_lines:
+                continue
+            label = self._blocking_label(graph, info, imports, node)
+            if label is not None:
+                yield _BlockingSite(
+                    label=label, module_path=info.module.rel_path, line=node.lineno
+                )
+
+    @staticmethod
+    def _blocking_label(
+        graph: CallGraph,
+        info: FunctionInfo,
+        imports: ImportMap,
+        call: ast.Call,
+    ) -> str | None:
+        name = dotted_name(call.func)
+        if name is not None:
+            resolved = imports.resolve(name)
+            label = _BLOCKING_CALLS.get(resolved)
+            if label is not None:
+                return label
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        attr = call.func.attr
+        receiver = dotted_name(call.func.value)
+        if attr == "result" and receiver is not None:
+            if "future" in receiver.rsplit(".", 1)[-1].lower():
+                return "Future.result"
+        if attr in _SQLITE_METHODS and receiver is not None:
+            parts = receiver.split(".")
+            if parts[0] == "self" and len(parts) == 2:
+                receiver_type = graph.attribute_type(info.class_id, parts[1])
+                if receiver_type == "sqlite3.connect":
+                    return f"sqlite3-{attr}"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # transitive walk from each coroutine
+    # ------------------------------------------------------------------ #
+    def _check_coroutine(
+        self,
+        graph: CallGraph,
+        root: FunctionInfo,
+        sites: dict[str, list[_BlockingSite]],
+    ) -> Iterator[Violation]:
+        parents: dict[str, str] = {}
+        seen = {root.name}
+        queue: deque[str] = deque([root.name])
+        while queue:
+            current = queue.popleft()
+            for site in sites.get(current, ()):
+                yield self._violation_for(graph, root, current, site, parents)
+            for edge in graph.edges_from(current):
+                if edge.kind != CALL or edge.callee in seen:
+                    continue
+                callee = graph.functions.get(edge.callee)
+                if callee is None or callee.is_async:
+                    # Awaited coroutines are their own analysis roots.
+                    continue
+                seen.add(edge.callee)
+                parents[edge.callee] = current
+                queue.append(edge.callee)
+
+    def _violation_for(
+        self,
+        graph: CallGraph,
+        root: FunctionInfo,
+        sink_id: str,
+        site: _BlockingSite,
+        parents: dict[str, str],
+    ) -> Violation:
+        chain = [sink_id]
+        cursor = sink_id
+        while cursor != root.name:
+            cursor = parents[cursor]
+            chain.append(cursor)
+        route = " -> ".join(
+            graph.functions[node].qualname for node in reversed(chain)
+        )
+        sink = graph.functions[sink_id]
+        if sink_id == root.name:
+            how = f"calls blocking {site.label} directly"
+        else:
+            how = (
+                f"reaches blocking {site.label} at "
+                f"{site.module_path}:{site.line} via {route}"
+            )
+        return self.violation(
+            root.module,
+            root.node,
+            f"coroutine {root.qualname} {how} with no intervening "
+            "run_in_executor/to_thread hop; this stalls the event loop — "
+            "dispatch the synchronous work to an executor",
+            f"blocking:{root.qualname}:{site.label}:{sink.qualname}",
+        )

@@ -1,0 +1,185 @@
+"""Rule: state mutated on the run path must be *reached* by snapshots.
+
+``snapshot-coverage`` proves every stateful class *defines* capture and
+restore hooks.  That is necessary but not sufficient: a hook nobody calls
+still loses state on resume.  This pass closes the loop with the call
+graph:
+
+1. compute ``R`` — everything reachable from a ``run_batch`` method
+   (including dispatch edges: state mutated on a worker thread still
+   needs snapshotting);
+2. a stateful class (same RNG/fitted-state heuristics as
+   snapshot-coverage) is **mutated on the run path** when one of its
+   methods is in ``R`` and assigns instance attributes;
+3. collect the hook names actually invoked from ``ServiceSnapshot``:
+   every reachable function from ``ServiceSnapshot.capture`` (resp.
+   ``restore_into``) contributes direct attribute calls and
+   ``getattr(x, "hook")`` string constants;
+4. a mutated class whose capture hooks never appear in the capture
+   region — or whose restore hooks never appear in the restore region —
+   is flagged: its state would silently restart cold after a resume.
+
+Hook *invocation* is matched by name inside the graph-computed region
+(the snapshot layer dispatches through ``getattr`` strings, which no
+static resolver can type), so resolution gaps err toward silence while a
+class the snapshot layer genuinely never touches is still caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.core import ProjectIndex, Rule, Violation
+from repro.analysis.graph import CallGraph, call_graph, iter_own_nodes
+from repro.analysis.rules._ast_utils import ImportMap, self_attribute
+from repro.analysis.rules.snapshots import (
+    CAPTURE_HOOKS,
+    RESTORE_HOOKS,
+    fit_assigns_state,
+    is_interface,
+    rng_attributes,
+)
+
+__all__ = ["SnapshotReachabilityRule"]
+
+
+class SnapshotReachabilityRule(Rule):
+    rule_id = "snapshot-reachability"
+    description = (
+        "every stateful class mutated on a run_batch-reachable path must "
+        "have its capture/restore hooks invoked from ServiceSnapshot"
+    )
+    invariant = (
+        "a snapshot taken mid-run captures every component the run "
+        "actually mutates, so resume stays byte-identical"
+    )
+
+    def __init__(
+        self,
+        snapshot_module: str = "repro.runtime.snapshot",
+        snapshot_class: str = "ServiceSnapshot",
+        run_root: str = "run_batch",
+        capture_entry: str = "capture",
+        restore_entry: str = "restore_into",
+    ) -> None:
+        self.snapshot_module = snapshot_module
+        self.snapshot_class = snapshot_class
+        self.run_root = run_root
+        self.capture_entry = capture_entry
+        self.restore_entry = restore_entry
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        graph = call_graph(index)
+        capture_id = f"{self.snapshot_module}:{self.snapshot_class}.{self.capture_entry}"
+        restore_id = f"{self.snapshot_module}:{self.snapshot_class}.{self.restore_entry}"
+        if capture_id not in graph.functions or restore_id not in graph.functions:
+            return
+        run_roots = graph.functions_named(self.run_root)
+        if not run_roots:
+            return
+        run_reachable = graph.reachable(run_roots, follow_dispatch=True)
+        captured_names = self._invoked_hooks(graph, capture_id)
+        restored_names = self._invoked_hooks(graph, restore_id)
+        for class_id in sorted(graph.classes):
+            yield from self._check_class(
+                graph,
+                class_id,
+                run_reachable,
+                captured_names,
+                restored_names,
+            )
+
+    # ------------------------------------------------------------------ #
+    # hook invocations inside the snapshot layer's reachable region
+    # ------------------------------------------------------------------ #
+    def _invoked_hooks(self, graph: CallGraph, entry: str) -> set[str]:
+        known = CAPTURE_HOOKS | RESTORE_HOOKS
+        invoked: set[str] = set()
+        for function_id in graph.reachable([entry], follow_dispatch=True):
+            info = graph.functions.get(function_id)
+            if info is None:
+                continue
+            for node in iter_own_nodes(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Attribute) and node.func.attr in known:
+                    invoked.add(node.func.attr)
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "getattr"
+                    and len(node.args) >= 2
+                    and isinstance(node.args[1], ast.Constant)
+                    and isinstance(node.args[1].value, str)
+                    and node.args[1].value in known
+                ):
+                    invoked.add(node.args[1].value)
+        return invoked
+
+    # ------------------------------------------------------------------ #
+    # per-class reachability verdict
+    # ------------------------------------------------------------------ #
+    def _check_class(
+        self,
+        graph: CallGraph,
+        class_id: str,
+        run_reachable: set[str],
+        captured_names: set[str],
+        restored_names: set[str],
+    ) -> Iterator[Violation]:
+        info = graph.classes[class_id]
+        if is_interface(info.node):
+            return
+        imports = ImportMap(info.module.tree)
+        if not rng_attributes(info.node, imports) and not fit_assigns_state(info.node):
+            return
+        mutators = sorted(
+            method_name
+            for method_name, function_id in info.methods.items()
+            if function_id in run_reachable
+            and self._mutates_state(graph, function_id)
+        )
+        if not mutators:
+            return
+        method_names = set(info.methods)
+        capture_hooks = method_names & CAPTURE_HOOKS
+        restore_hooks = method_names & RESTORE_HOOKS
+        if not capture_hooks or not restore_hooks:
+            return  # snapshot-coverage already reports missing hooks
+        where = f"on the {self.run_root} path (via {', '.join(mutators)})"
+        if not capture_hooks & captured_names:
+            yield self.violation(
+                info.module,
+                info.node,
+                f"class {info.qualname} is mutated {where} but none of its "
+                f"capture hooks ({', '.join(sorted(capture_hooks))}) is "
+                f"invoked from {self.snapshot_class}.{self.capture_entry}; "
+                "a snapshot would silently omit its state",
+                f"unreached-capture:{info.qualname}",
+            )
+        if not restore_hooks & restored_names:
+            yield self.violation(
+                info.module,
+                info.node,
+                f"class {info.qualname} is mutated {where} but none of its "
+                f"restore hooks ({', '.join(sorted(restore_hooks))}) is "
+                f"invoked from {self.snapshot_class}.{self.restore_entry}; "
+                "resume would restart it cold",
+                f"unreached-restore:{info.qualname}",
+            )
+
+    @staticmethod
+    def _mutates_state(graph: CallGraph, function_id: str) -> bool:
+        info = graph.functions.get(function_id)
+        if info is None or info.qualname.rsplit(".", 1)[-1] == "__init__":
+            return False
+        for node in iter_own_nodes(info.node):
+            if isinstance(node, ast.Assign):
+                targets: list[ast.expr] = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            if any(self_attribute(target) is not None for target in targets):
+                return True
+        return False

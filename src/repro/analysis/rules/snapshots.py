@@ -38,7 +38,12 @@ from repro.analysis.rules._ast_utils import (
     self_attribute,
 )
 
-__all__ = ["SnapshotCoverageRule"]
+__all__ = [
+    "SnapshotCoverageRule",
+    "fit_assigns_state",
+    "is_interface",
+    "rng_attributes",
+]
 
 _RNG_CONSTRUCTORS = {
     "numpy.random.default_rng",
@@ -59,11 +64,44 @@ RESTORE_HOOKS = frozenset(
 _INTERFACE_BASES = {"Protocol", "ABC", "Enum", "IntEnum", "StrEnum", "NamedTuple"}
 
 
-def _is_interface(class_node: ast.ClassDef) -> bool:
+def is_interface(class_node: ast.ClassDef) -> bool:
+    """True for Protocol/ABC/Enum-style definitions (no instance state)."""
     for base in class_node.bases:
         name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", None)
         if name in _INTERFACE_BASES:
             return True
+    return False
+
+
+def rng_attributes(class_node: ast.ClassDef, imports: ImportMap) -> set[str]:
+    """Attributes assigned from a seeded RNG constructor (held RNG state)."""
+    attrs: set[str] = set()
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        if resolve_call(node.value, imports) not in _RNG_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            attr = self_attribute(target)
+            if attr is not None:
+                attrs.add(attr)
+    return attrs
+
+
+def fit_assigns_state(class_node: ast.ClassDef) -> bool:
+    """True when a fit-style method assigns instance attributes."""
+    for fn in iter_functions(class_node):
+        if fn.name not in _FIT_METHODS:
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                targets: list[ast.expr] = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            if any(self_attribute(target) is not None for target in targets):
+                return True
     return False
 
 
@@ -88,11 +126,11 @@ class SnapshotCoverageRule(Rule):
     def check_module(self, module: Module, index: ProjectIndex) -> Iterable[Violation]:
         imports = ImportMap(module.tree)
         for class_node in iter_classes(module.tree):
-            if _is_interface(class_node):
+            if is_interface(class_node):
                 continue
             methods = {fn.name for fn in iter_functions(class_node)}
-            rng_attrs = self._rng_attributes(class_node, imports)
-            fitted = self._fit_assigns_state(class_node)
+            rng_attrs = rng_attributes(class_node, imports)
+            fitted = fit_assigns_state(class_node)
             if not rng_attrs and not fitted:
                 continue
             has_capture = bool(methods & CAPTURE_HOOKS)
@@ -118,36 +156,6 @@ class SnapshotCoverageRule(Rule):
                 "round-trip it, so resume would restart it cold",
                 f"missing-hooks:{class_node.name}",
             )
-
-    @staticmethod
-    def _rng_attributes(class_node: ast.ClassDef, imports: ImportMap) -> set[str]:
-        attrs: set[str] = set()
-        for node in ast.walk(class_node):
-            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
-                continue
-            if resolve_call(node.value, imports) not in _RNG_CONSTRUCTORS:
-                continue
-            for target in node.targets:
-                attr = self_attribute(target)
-                if attr is not None:
-                    attrs.add(attr)
-        return attrs
-
-    @staticmethod
-    def _fit_assigns_state(class_node: ast.ClassDef) -> bool:
-        for fn in iter_functions(class_node):
-            if fn.name not in _FIT_METHODS:
-                continue
-            for node in ast.walk(fn):
-                if isinstance(node, ast.Assign):
-                    targets: list[ast.expr] = list(node.targets)
-                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                    targets = [node.target]
-                else:
-                    continue
-                if any(self_attribute(target) is not None for target in targets):
-                    return True
-        return False
 
     # ------------------------------------------------------------------ #
     # cross-check against what the snapshot layer actually serializes

@@ -1,0 +1,479 @@
+"""Rule: every SQL literal in ``repro.store`` must match the declared schema.
+
+SQLite only validates a statement when it runs, and the store's pushdown
+queries run deep inside planner paths that unit fixtures may never reach
+with every branch.  This pass validates them at lint time:
+
+1. the package's ``CREATE TABLE`` / ``CREATE INDEX`` DDL (the
+   ``_SCHEMA`` script *and* any ``CREATE TEMP TABLE ... AS SELECT``
+   built inline) is parsed into a schema model — table -> column set;
+2. every string handed to ``execute`` / ``executemany`` /
+   ``executescript`` is linted against it:
+
+   * unknown table in ``FROM`` / ``JOIN`` / ``INTO`` / ``UPDATE`` /
+     ``DROP TABLE`` / ``CREATE INDEX ... ON``;
+   * unknown column behind a resolved alias (``c.retired`` where ``c``
+     is ``claims``), in an ``INSERT`` column list, an ``UPDATE ... SET``
+     target, or a plain single-table select list;
+   * ``SELECT *`` (schema drift silently changes the tuple shape the
+     Python side unpacks);
+   * ``?`` placeholder count vs. the literally supplied parameter tuple
+     (``execute(sql, (a, b))`` and list-of-tuple ``executemany``), and
+     column-list-free ``INSERT ... VALUES`` arity vs. the table width.
+
+f-strings are linted with each interpolation replaced by a marker: table
+and column checks still apply, while the parameter-count check is skipped
+(dynamic ``IN (?,?,...)`` lists are legal).  Anything the mini-parser
+cannot model (subqueries, expressions) is skipped, not guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.core import Module, ProjectIndex, Rule, Violation
+from repro.analysis.rules._ast_utils import QualnameIndex
+
+__all__ = ["SqlSchemaRule"]
+
+_EXECUTE_METHODS = frozenset({"execute", "executemany", "executescript"})
+
+#: Leading keywords of statements the pass lints (PRAGMA etc. are skipped).
+_LINTED_VERBS = frozenset({"SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP"})
+
+#: Words that can follow a table name without being its alias.
+_NOT_AN_ALIAS = frozenset(
+    {
+        "AS", "ON", "WHERE", "ORDER", "GROUP", "WINDOW", "SET", "JOIN",
+        "LEFT", "RIGHT", "INNER", "OUTER", "CROSS", "NATURAL", "USING",
+        "LIMIT", "UNION", "EXCEPT", "INTERSECT", "HAVING", "VALUES",
+    }
+)
+
+_CONSTRAINT_KEYWORDS = frozenset(
+    {"PRIMARY", "UNIQUE", "CHECK", "FOREIGN", "CONSTRAINT"}
+)
+
+_TABLE_REF_RE = re.compile(
+    r"\b(?:FROM|JOIN)\s+([A-Za-z_]\w*)(?:\s+(?:AS\s+)?([A-Za-z_]\w*))?",
+    re.IGNORECASE,
+)
+_INTO_RE = re.compile(r"\bINTO\s+([A-Za-z_]\w*)\s*(\(([^)]*)\))?", re.IGNORECASE)
+_UPDATE_RE = re.compile(r"^\s*UPDATE\s+(?:OR\s+\w+\s+)?([A-Za-z_]\w*)", re.IGNORECASE)
+_DROP_TABLE_RE = re.compile(
+    r"\bDROP\s+TABLE\s+(?:IF\s+EXISTS\s+)?([A-Za-z_]\w*)", re.IGNORECASE
+)
+_CREATE_INDEX_RE = re.compile(
+    r"\bCREATE\s+(?:UNIQUE\s+)?INDEX\s+(?:IF\s+NOT\s+EXISTS\s+)?[A-Za-z_]\w*\s+"
+    r"ON\s+([A-Za-z_]\w*)\s*\(([^)]*)\)",
+    re.IGNORECASE,
+)
+_CREATE_TABLE_RE = re.compile(
+    r"\bCREATE\s+(?:TEMP(?:ORARY)?\s+)?TABLE\s+(?:IF\s+NOT\s+EXISTS\s+)?"
+    r"([A-Za-z_]\w*)",
+    re.IGNORECASE,
+)
+_SELECT_STAR_RE = re.compile(r"\bSELECT\s+(?:[A-Za-z_]\w*\.)?\*", re.IGNORECASE)
+_QUALIFIED_RE = re.compile(r"\b([A-Za-z_]\w*)\.([A-Za-z_]\w*)")
+_SET_COLUMN_RE = re.compile(r"(?:^|,)\s*([A-Za-z_]\w*)\s*=")
+_SCHEMA_PREFIX_RE = re.compile(r"\b(?:temp|main)\.", re.IGNORECASE)
+_FORMAT_MARK = "__EXPR__"
+
+
+def _split_top_level(text: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _render_sql(node: ast.expr) -> tuple[str, bool] | None:
+    """``(sql, dynamic)`` for a string/f-string literal, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, False
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        dynamic = False
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append(_FORMAT_MARK)
+                dynamic = True
+        return "".join(parts), dynamic
+    return None
+
+
+def _first_verb(statement: str) -> str:
+    match = re.match(r"\s*([A-Za-z]+)", statement)
+    return match.group(1).upper() if match else ""
+
+
+class _Schema:
+    """Parsed DDL: table name -> column set (``None`` = columns unknown)."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, set[str] | None] = {}
+
+    def add_ddl(self, script: str) -> None:
+        for statement in script.split(";"):
+            match = _CREATE_TABLE_RE.search(statement)
+            if match is None:
+                continue
+            table = match.group(1).lower()
+            rest = statement[match.end() :]
+            if re.match(r"\s*AS\b", rest, re.IGNORECASE):
+                self.tables[table] = self._select_aliases(rest)
+            else:
+                self.tables[table] = self._column_defs(rest)
+
+    @staticmethod
+    def _column_defs(rest: str) -> set[str] | None:
+        start = rest.find("(")
+        if start < 0:
+            return None
+        depth = 0
+        end = start
+        for position in range(start, len(rest)):
+            if rest[position] == "(":
+                depth += 1
+            elif rest[position] == ")":
+                depth -= 1
+                if depth == 0:
+                    end = position
+                    break
+        columns: set[str] = set()
+        for item in _split_top_level(rest[start + 1 : end]):
+            first = item.split()[0] if item.split() else ""
+            if not first or first.upper() in _CONSTRAINT_KEYWORDS:
+                continue
+            columns.add(first.lower())
+        return columns or None
+
+    @staticmethod
+    def _select_aliases(rest: str) -> set[str] | None:
+        """Columns of ``CREATE TABLE ... AS SELECT expr AS name, ...``."""
+        match = re.search(
+            r"\bSELECT\s+(?:DISTINCT\s+)?(.*?)\s+FROM\b",
+            rest,
+            re.IGNORECASE | re.DOTALL,
+        )
+        if match is None:
+            return None
+        columns: set[str] = set()
+        for item in _split_top_level(match.group(1)):
+            alias = re.search(r"\bAS\s+([A-Za-z_]\w*)\s*$", item, re.IGNORECASE)
+            if alias is None:
+                return None  # unnamed output column: stay permissive
+            columns.add(alias.group(1).lower())
+        return columns
+
+    def columns(self, table: str) -> set[str] | None:
+        return self.tables.get(table.lower())
+
+    def __contains__(self, table: str) -> bool:
+        return table.lower() in self.tables
+
+
+class SqlSchemaRule(Rule):
+    rule_id = "sql-schema"
+    description = (
+        "SQL literals in repro.store must reference declared tables and "
+        "columns, avoid SELECT *, and bind the right number of parameters"
+    )
+    invariant = (
+        "every pushdown query the store can run is valid against the "
+        "catalog schema before it ever reaches SQLite"
+    )
+
+    def __init__(self, packages: tuple[str, ...] = ("repro.store",)) -> None:
+        self.packages = packages
+
+    def _in_scope(self, module: Module) -> bool:
+        return any(
+            module.name == package or module.name.startswith(package + ".")
+            for package in self.packages
+        )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        modules = [module for module in index if self._in_scope(module)]
+        schema = _Schema()
+        statements: list[tuple[Module, str, ast.Call | None, str, bool, int]] = []
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    if _CREATE_TABLE_RE.search(node.value) is not None:
+                        schema.add_ddl(node.value)
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _EXECUTE_METHODS
+                    and node.args
+                ):
+                    continue
+                rendered = _render_sql(node.args[0])
+                if rendered is None:
+                    continue
+                sql, dynamic = rendered
+                if _CREATE_TABLE_RE.search(sql) is not None:
+                    schema.add_ddl(sql)
+                for statement in sql.split(";"):
+                    if _first_verb(statement) in _LINTED_VERBS:
+                        statements.append(
+                            (
+                                module,
+                                statement,
+                                node,
+                                node.func.attr,
+                                dynamic,
+                                node.args[0].lineno,
+                            )
+                        )
+            # The executescript DDL itself (module-level _SCHEMA constant):
+            # lint its statements too so a bad CREATE INDEX is caught.
+            for node in module.tree.body:
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                    and _CREATE_TABLE_RE.search(node.value.value) is not None
+                ):
+                    for statement in node.value.value.split(";"):
+                        if _first_verb(statement) in _LINTED_VERBS:
+                            statements.append(
+                                (module, statement, None, "ddl", False, node.lineno)
+                            )
+        if not schema.tables:
+            return
+        for module, statement, call, method, dynamic, line in statements:
+            qualnames = QualnameIndex(module.tree)
+            owner = (
+                qualnames.enclosing(call) if call is not None else None
+            ) or module.name.rsplit(".", 1)[-1]
+            yield from self._check_statement(
+                module, schema, statement, call, method, dynamic, line, owner
+            )
+
+    # ------------------------------------------------------------------ #
+    # one statement
+    # ------------------------------------------------------------------ #
+    def _check_statement(
+        self,
+        module: Module,
+        schema: _Schema,
+        statement: str,
+        call: ast.Call | None,
+        method: str,
+        dynamic: bool,
+        line: int,
+        owner: str,
+    ) -> Iterator[Violation]:
+        sql = _SCHEMA_PREFIX_RE.sub("", statement)
+        verb = _first_verb(sql)
+        if verb == "CREATE" and _CREATE_TABLE_RE.search(sql) is not None:
+            return  # definitions were folded into the schema already
+        aliases = self._aliases(sql)
+        yield from self._check_tables(module, schema, sql, verb, line, aliases)
+        yield from self._check_columns(module, schema, sql, verb, line, aliases)
+        if _SELECT_STAR_RE.search(sql) is not None:
+            yield self.violation(
+                module,
+                line,
+                "SELECT * pins the Python row-unpacking to the table's "
+                "current column order; name the columns explicitly "
+                f"(in {owner})",
+                f"select-star:{owner}",
+            )
+        if not dynamic and call is not None:
+            yield from self._check_params(module, schema, sql, call, method, line, owner)
+
+    @staticmethod
+    def _aliases(sql: str) -> dict[str, str]:
+        aliases: dict[str, str] = {}
+        for match in _TABLE_REF_RE.finditer(sql):
+            table, alias = match.group(1), match.group(2)
+            if alias is not None and alias.upper() not in _NOT_AN_ALIAS:
+                aliases[alias.lower()] = table.lower()
+        return aliases
+
+    def _check_tables(
+        self,
+        module: Module,
+        schema: _Schema,
+        sql: str,
+        verb: str,
+        line: int,
+        aliases: dict[str, str],
+    ) -> Iterator[Violation]:
+        referenced: list[str] = []
+        referenced.extend(match.group(1) for match in _TABLE_REF_RE.finditer(sql))
+        referenced.extend(match.group(1) for match in _INTO_RE.finditer(sql))
+        referenced.extend(match.group(1) for match in _DROP_TABLE_RE.finditer(sql))
+        referenced.extend(match.group(1) for match in _CREATE_INDEX_RE.finditer(sql))
+        update = _UPDATE_RE.match(sql)
+        if update is not None:
+            referenced.append(update.group(1))
+        for table in referenced:
+            if table.lower() in aliases and table.lower() not in schema.tables:
+                continue  # an alias shadowing nothing real
+            if table not in schema:
+                yield self.violation(
+                    module,
+                    line,
+                    f"SQL references table {table!r}, which no CREATE TABLE "
+                    "in the package declares",
+                    f"unknown-table:{table}",
+                )
+
+    def _check_columns(
+        self,
+        module: Module,
+        schema: _Schema,
+        sql: str,
+        verb: str,
+        line: int,
+        aliases: dict[str, str],
+    ) -> Iterator[Violation]:
+        checked: set[tuple[str, str]] = set()
+
+        def check(table: str, column: str) -> Iterator[Violation]:
+            columns = schema.columns(table)
+            key = (table.lower(), column.lower())
+            if columns is None or key in checked or column.lower() in columns:
+                return
+            checked.add(key)
+            yield self.violation(
+                module,
+                line,
+                f"SQL references column {column!r} of table {table!r}, "
+                f"which declares only: {', '.join(sorted(columns))}",
+                f"unknown-column:{table}.{column}",
+            )
+
+        for match in _QUALIFIED_RE.finditer(sql):
+            prefix, column = match.group(1), match.group(2)
+            table = aliases.get(prefix.lower())
+            if table is None and prefix in schema:
+                table = prefix.lower()
+            if table is not None:
+                yield from check(table, column)
+        for match in _INTO_RE.finditer(sql):
+            table, _, column_list = match.group(1), match.group(2), match.group(3)
+            if column_list:
+                for column in _split_top_level(column_list):
+                    yield from check(table, column)
+        for match in _CREATE_INDEX_RE.finditer(sql):
+            table, column_list = match.group(1), match.group(2)
+            for column in _split_top_level(column_list):
+                column_name = column.split()[0] if column.split() else ""
+                if column_name:
+                    yield from check(table, column_name)
+        update = _UPDATE_RE.match(sql)
+        if update is not None:
+            set_clause = re.search(
+                r"\bSET\b(.*?)(?:\bWHERE\b|$)", sql, re.IGNORECASE | re.DOTALL
+            )
+            if set_clause is not None:
+                for column_match in _SET_COLUMN_RE.finditer(set_clause.group(1)):
+                    yield from check(update.group(1), column_match.group(1))
+        if verb == "SELECT":
+            for table, column in self._plain_select_columns(sql, schema):
+                yield from check(table, column)
+
+    @staticmethod
+    def _plain_select_columns(
+        sql: str, schema: _Schema
+    ) -> Iterator[tuple[str, str]]:
+        """(table, column) pairs of a plain single-table select list."""
+        tables = {match.group(1).lower() for match in _TABLE_REF_RE.finditer(sql)}
+        tables = {table for table in tables if table in schema.tables}
+        if len(tables) != 1:
+            return
+        match = re.match(
+            r"\s*SELECT\s+(?:DISTINCT\s+)?(.*?)\s+FROM\b",
+            sql,
+            re.IGNORECASE | re.DOTALL,
+        )
+        if match is None:
+            return
+        select_list = match.group(1)
+        if not re.fullmatch(r"[\w\s,]+", select_list):
+            return  # expressions/functions: out of the mini-parser's depth
+        table = next(iter(tables))
+        for item in _split_top_level(select_list):
+            yield table, item.split()[0]
+
+    # ------------------------------------------------------------------ #
+    # parameter counts
+    # ------------------------------------------------------------------ #
+    def _check_params(
+        self,
+        module: Module,
+        schema: _Schema,
+        sql: str,
+        call: ast.Call,
+        method: str,
+        line: int,
+        owner: str,
+    ) -> Iterator[Violation]:
+        placeholders = sql.count("?")
+        into = _INTO_RE.search(sql)
+        values = re.search(r"\bVALUES\s*\(([^)]*)\)", sql, re.IGNORECASE)
+        if into is not None and not into.group(2) and values is not None:
+            columns = schema.columns(into.group(1))
+            arity = len(_split_top_level(values.group(1)))
+            if columns is not None and arity != len(columns):
+                yield self.violation(
+                    module,
+                    line,
+                    f"INSERT INTO {into.group(1)} without a column list "
+                    f"supplies {arity} value(s) but the table declares "
+                    f"{len(columns)} column(s)",
+                    f"insert-arity:{into.group(1)}:{owner}",
+                )
+        supplied = call.args[1] if len(call.args) > 1 else None
+        counts: list[int] = []
+        if method == "execute":
+            count = self._literal_arity(supplied)
+            if supplied is None and placeholders:
+                counts.append(0)
+            elif count is not None:
+                counts.append(count)
+        elif method == "executemany" and isinstance(supplied, ast.List):
+            for element in supplied.elts:
+                count = self._literal_arity(element)
+                if count is not None:
+                    counts.append(count)
+        for count in counts:
+            if count != placeholders:
+                yield self.violation(
+                    module,
+                    line,
+                    f"SQL has {placeholders} '?' placeholder(s) but the "
+                    f"supplied parameter tuple has {count} element(s) "
+                    f"(in {owner})",
+                    f"param-count:{owner}",
+                )
+                break
+
+    @staticmethod
+    def _literal_arity(node: ast.expr | None) -> int | None:
+        if isinstance(node, (ast.Tuple, ast.List)) and not any(
+            isinstance(element, ast.Starred) for element in node.elts
+        ):
+            return len(node.elts)
+        return None

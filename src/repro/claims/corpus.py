@@ -18,7 +18,7 @@ from repro.claims.annotations import CheckerAnnotation
 from repro.claims.document import Document
 from repro.claims.model import Claim, ClaimGroundTruth, ClaimProperty
 from repro.dataset.database import Database
-from repro.errors import ClaimError
+from repro.errors import ClaimError, ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -162,7 +162,7 @@ class ClaimCorpus:
     def split(self, train_fraction: float, seed: int = 0) -> tuple[list[str], list[str]]:
         """Random train/test split of claim ids."""
         if not 0.0 < train_fraction < 1.0:
-            raise ValueError("train_fraction must be in (0, 1)")
+            raise ConfigurationError("train_fraction must be in (0, 1)")
         generator = np.random.default_rng(seed)
         ids = list(self._claims)
         generator.shuffle(ids)

@@ -14,7 +14,7 @@ from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.claims.corpus import ClaimCorpus
-from repro.errors import SerializationError
+from repro.errors import ConfigurationError, SerializationError
 
 #: Version stamp of the JSON report format; bump on breaking layout changes.
 REPORT_FORMAT_VERSION = 1
@@ -27,7 +27,7 @@ SECONDS_PER_WORK_WEEK = 8 * 5 * 3600
 def seconds_to_weeks(total_seconds: float, checkers: int = 1) -> float:
     """Convert accumulated person-seconds into elapsed weeks for a team."""
     if checkers < 1:
-        raise ValueError("checkers must be at least 1")
+        raise ConfigurationError("checkers must be at least 1")
     return total_seconds / (SECONDS_PER_WORK_WEEK * checkers)
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.claims.model import Claim, ClaimProperty
 from repro.crowd.timing import TimingModel
+from repro.errors import ConfigurationError
 from repro.planning.screens import QuestionPlan
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle at runtime)
@@ -60,9 +61,9 @@ class SimulatedChecker:
         seed: int = 0,
     ) -> None:
         if not 0.0 <= error_rate < 1.0:
-            raise ValueError("error_rate must be in [0, 1)")
+            raise ConfigurationError("error_rate must be in [0, 1)")
         if not 0.0 <= skip_rate < 1.0:
-            raise ValueError("skip_rate must be in [0, 1)")
+            raise ConfigurationError("skip_rate must be in [0, 1)")
         self.checker_id = checker_id
         self._oracle = oracle
         self._timing = timing if timing is not None else TimingModel(seed=seed)

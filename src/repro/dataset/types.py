@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Union
 
+from repro.errors import ConfigurationError
+
 #: A cell of a relation: a number, a string label, or ``None`` for missing.
 Value = Union[float, int, str, None]
 
@@ -83,7 +85,7 @@ def values_close(left: float, right: float, tolerance: float) -> bool:
     test is symmetric; two exact zeros are considered close.
     """
     if tolerance < 0:
-        raise ValueError("tolerance must be non-negative")
+        raise ConfigurationError("tolerance must be non-negative")
     if left == right:
         return True
     denominator = max(abs(left), abs(right))

@@ -236,6 +236,7 @@ class JournalWriter:
             start_seq = scan_journal(self.directory).last_seq + 1
         self._next_seq = start_seq
         self._file = None
+        self._sealed = []
         self._segment_written = 0
         self._uncommitted = 0
         self.records_appended = 0
@@ -252,7 +253,12 @@ class JournalWriter:
     def _open_segment(self) -> None:
         with self._lock:
             if self._file is not None:
-                self._file.close()
+                # Seal, don't sync: the old segment's records stay pending
+                # until the next commit().  append() must never block on
+                # fsync — it runs on the gateway event loop.
+                self._file.flush()
+                self._sealed.append(self._file)
+                self._file = None
             path = _segment_path(self.directory, self._next_segment)
             self._next_segment += 1
             self._file = open(path, "ab")
@@ -267,7 +273,6 @@ class JournalWriter:
             seq = self._next_seq
             frame = encode_record(seq, tenant_id, tuple(claim_ids), time.time())
             if self._segment_written and self._segment_written + len(frame) > self._segment_bytes:
-                self._commit_locked()
                 self._open_segment()
             self._file.write(frame)
             self._next_seq = seq + 1
@@ -279,11 +284,17 @@ class JournalWriter:
 
     def _commit_locked(self) -> None:
         with self._lock:
-            if self._file is None or not self._uncommitted:
+            if not self._uncommitted and not self._sealed:
                 return
-            self._file.flush()
-            if self._fsync:
-                os.fsync(self._file.fileno())
+            for sealed in self._sealed:
+                if self._fsync:
+                    os.fsync(sealed.fileno())
+                sealed.close()
+            self._sealed.clear()
+            if self._file is not None:
+                self._file.flush()
+                if self._fsync:
+                    os.fsync(self._file.fileno())
             self.commits += 1
             self.records_committed += self._uncommitted
             self._uncommitted = 0
@@ -301,12 +312,15 @@ class JournalWriter:
                 self._file = None
 
     def abandon(self) -> None:
-        """Drop the file handle without a final commit (crash simulation)."""
+        """Drop the file handles without a final commit (crash simulation)."""
         with self._lock:
+            for sealed in self._sealed:
+                sealed.close()
+            self._sealed.clear()
             if self._file is not None:
                 self._file.close()
                 self._file = None
-                self._uncommitted = 0
+            self._uncommitted = 0
 
     def stats(self) -> dict:
         with self._lock:

@@ -380,7 +380,9 @@ class GatewayServer:
         if self._loop is not None:
             await self._loop.run_in_executor(self._engine, self._engine_shutdown, batch)
         self._engine.shutdown(wait=True)
-        self._journal.close()
+        # close() runs the journal's final fsync; keep it off the loop.
+        loop = self._loop or asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._journal.close)
         await self._close_connections()
         self._stopped = True
 

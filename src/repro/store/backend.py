@@ -13,9 +13,10 @@ byte-for-byte like it always did.  The out-of-core backend lives in
 from __future__ import annotations
 
 from collections.abc import Sequence
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["FeatureBackend", "InMemoryFeatureBackend"]
 
@@ -31,22 +32,22 @@ class FeatureBackend(Protocol):
     safe to hand to many consumers (the store marks them read-only).
     """
 
-    def get(self, claim_id: str) -> np.ndarray | None:
+    def get(self, claim_id: str) -> NDArray[Any] | None:
         """The stored row for one claim, or ``None`` when absent."""
         ...
 
-    def get_many(self, claim_ids: Sequence[str]) -> dict[str, np.ndarray]:
+    def get_many(self, claim_ids: Sequence[str]) -> dict[str, NDArray[Any]]:
         """The stored rows among ``claim_ids`` (absent ids are omitted)."""
         ...
 
-    def put(self, claim_id: str, row: np.ndarray, section_id: str = "") -> None:
+    def put(self, claim_id: str, row: NDArray[Any], section_id: str = "") -> None:
         """Store one row (the section id lets catalog backends index it)."""
         ...
 
     def put_many(
         self,
         claim_ids: Sequence[str],
-        matrix: np.ndarray,
+        matrix: NDArray[Any],
         section_ids: Sequence[str] | None = None,
     ) -> None:
         """Store one row per claim, in order (``matrix`` row ``i`` ↔ id ``i``)."""
@@ -83,26 +84,26 @@ class InMemoryFeatureBackend:
     """
 
     def __init__(self, max_rows: int | None = None) -> None:
-        self._rows: dict[str, np.ndarray] = {}
+        self._rows: dict[str, NDArray[Any]] = {}
         self._max_rows = max_rows
 
-    def get(self, claim_id: str) -> np.ndarray | None:
+    def get(self, claim_id: str) -> NDArray[Any] | None:
         return self._rows.get(claim_id)
 
-    def get_many(self, claim_ids: Sequence[str]) -> dict[str, np.ndarray]:
+    def get_many(self, claim_ids: Sequence[str]) -> dict[str, NDArray[Any]]:
         rows = self._rows
         return {
             claim_id: rows[claim_id] for claim_id in claim_ids if claim_id in rows
         }
 
-    def put(self, claim_id: str, row: np.ndarray, section_id: str = "") -> None:
+    def put(self, claim_id: str, row: NDArray[Any], section_id: str = "") -> None:
         self._rows[claim_id] = row
         self._evict_over_capacity()
 
     def put_many(
         self,
         claim_ids: Sequence[str],
-        matrix: np.ndarray,
+        matrix: NDArray[Any],
         section_ids: Sequence[str] | None = None,
     ) -> None:
         for index, claim_id in enumerate(claim_ids):

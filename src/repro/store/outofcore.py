@@ -47,10 +47,14 @@ import threading
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import StorageError, StoreManifestError
+
+_MemMap = np.memmap[Any, np.dtype[Any]]
 
 __all__ = [
     "GenerationInfo",
@@ -114,7 +118,7 @@ class SectionAggregate:
     total_utility: float
 
 
-def _chunks(items: Sequence, size: int = 500) -> Iterable[Sequence]:
+def _chunks(items: Sequence[str], size: int = 500) -> Iterable[Sequence[str]]:
     for start in range(0, len(items), size):
         yield items[start : start + size]
 
@@ -145,7 +149,7 @@ class OutOfCoreClaimStore:
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
         #: generation -> (features memmap, written memmap)
-        self._maps: dict[int, tuple[np.memmap, np.memmap]] = {}
+        self._maps: dict[int, tuple[_MemMap, _MemMap]] = {}
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -156,7 +160,7 @@ class OutOfCoreClaimStore:
         return self._directory
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> np.dtype[Any]:
         return self._dtype
 
     def release(self) -> None:
@@ -402,7 +406,7 @@ class OutOfCoreClaimStore:
         size = (self._directory / info.features_file).stat().st_size
         return size // (info.dimension * np.dtype(info.dtype).itemsize)
 
-    def _maps_for(self, generation: int) -> tuple[np.memmap, np.memmap] | None:
+    def _maps_for(self, generation: int) -> tuple[_MemMap, _MemMap] | None:
         """The (features, written) mappings of a generation, or ``None`` when
         the generation was never published or holds no rows yet."""
         maps = self._maps.get(generation)
@@ -429,7 +433,7 @@ class OutOfCoreClaimStore:
         self._maps[generation] = (features, written)
         return features, written
 
-    def _grow_to(self, generation: int, rows_needed: int) -> tuple[np.memmap, np.memmap]:
+    def _grow_to(self, generation: int, rows_needed: int) -> tuple[_MemMap, _MemMap]:
         """Extend the generation's files to at least ``rows_needed`` rows."""
         info = self._generation_info(generation)
         if info is None:  # pragma: no cover - callers publish first
@@ -458,7 +462,7 @@ class OutOfCoreClaimStore:
     # feature rows
     # ------------------------------------------------------------------ #
     def write_features(
-        self, generation: int, claim_ids: Sequence[str], matrix: np.ndarray
+        self, generation: int, claim_ids: Sequence[str], matrix: NDArray[Any]
     ) -> None:
         """Store one feature row per claim into the generation's memmap."""
         matrix = np.asarray(matrix)
@@ -485,7 +489,7 @@ class OutOfCoreClaimStore:
 
     def read_features(
         self, generation: int, claim_ids: Sequence[str]
-    ) -> dict[str, np.ndarray]:
+    ) -> dict[str, NDArray[Any]]:
         """Zero-copy read-only rows for the claims present in ``generation``.
 
         Unregistered claims and claims never featurized under this
@@ -498,7 +502,7 @@ class OutOfCoreClaimStore:
                 return {}
             features, written = maps
             ords = self._ords(claim_ids, strict=False)
-            out: dict[str, np.ndarray] = {}
+            out: dict[str, NDArray[Any]] = {}
             rows = features.shape[0]
             for claim_id in claim_ids:
                 ordinal = ords.get(claim_id)
@@ -680,7 +684,8 @@ class OutOfCoreClaimStore:
                         params = [float(utility_weight), max_batch_size]
                     rows = self._conn.execute(
                         "SELECT claim_id, section_id, cost, utility FROM ("
-                        "  SELECT *, ROW_NUMBER() OVER ("
+                        "  SELECT ord, claim_id, section_id, cost, utility, "
+                        "  ROW_NUMBER() OVER ("
                         f"    PARTITION BY section_id ORDER BY {weight_expr}, ord"
                         "  ) AS rank FROM pushdown_pool"
                         ") WHERE rank <= ? ORDER BY ord",
@@ -717,7 +722,7 @@ class OutOfCoreClaimStore:
     # ------------------------------------------------------------------ #
     # manifest
     # ------------------------------------------------------------------ #
-    def manifest(self) -> dict:
+    def manifest(self) -> dict[str, Any]:
         """A JSON-safe description of the on-disk layout.
 
         Snapshots record *this* instead of feature bytes: the manifest
@@ -747,7 +752,7 @@ class OutOfCoreClaimStore:
             }
 
     @classmethod
-    def from_manifest(cls, manifest: Mapping) -> OutOfCoreClaimStore:
+    def from_manifest(cls, manifest: Mapping[str, Any]) -> OutOfCoreClaimStore:
         """Reattach to the store a manifest describes, validating the files."""
         if not isinstance(manifest, Mapping):
             raise StoreManifestError(f"manifest must be a mapping, got {manifest!r}")
@@ -816,19 +821,19 @@ class OutOfCoreFeatureBackend:
     def generation(self) -> int:
         return self._generation
 
-    def get(self, claim_id: str) -> np.ndarray | None:
+    def get(self, claim_id: str) -> NDArray[Any] | None:
         return self._store.read_features(self._generation, [claim_id]).get(claim_id)
 
-    def get_many(self, claim_ids: Sequence[str]) -> dict[str, np.ndarray]:
+    def get_many(self, claim_ids: Sequence[str]) -> dict[str, NDArray[Any]]:
         return self._store.read_features(self._generation, claim_ids)
 
-    def put(self, claim_id: str, row: np.ndarray, section_id: str = "") -> None:
+    def put(self, claim_id: str, row: NDArray[Any], section_id: str = "") -> None:
         self.put_many([claim_id], np.asarray(row)[None, :], [section_id])
 
     def put_many(
         self,
         claim_ids: Sequence[str],
-        matrix: np.ndarray,
+        matrix: NDArray[Any],
         section_ids: Sequence[str] | None = None,
     ) -> None:
         if section_ids is None:
@@ -850,7 +855,7 @@ class OutOfCoreFeatureBackend:
         """Flush and drop the mapped pages (the passivation hook)."""
         self._store.release()
 
-    def manifest(self) -> dict:
+    def manifest(self) -> dict[str, Any]:
         return self._store.manifest()
 
     def __len__(self) -> int:

@@ -1,0 +1,218 @@
+"""Tests for the project call graph (``repro.analysis.graph``).
+
+Fixtures are written under ``tmp_path/repro`` like the rule tests, so
+module names match what the builder sees on the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import build_index
+from repro.analysis.graph import CALL, DISPATCH, CallGraph, build_call_graph, call_graph
+
+
+def graph_for(tmp_path: Path, files: dict[str, str]) -> CallGraph:
+    package = tmp_path / "repro"
+    for rel, source in files.items():
+        target = package / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+        init = target.parent / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    (package / "__init__.py").touch()
+    return build_call_graph(build_index([package]))
+
+
+def edges(graph: CallGraph, caller: str) -> set[tuple[str, str]]:
+    return {(edge.callee, edge.kind) for edge in graph.edges_from(caller)}
+
+
+class TestResolution:
+    def test_self_method_call(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                class Service:
+                    def run(self):
+                        return self.helper()
+                    def helper(self):
+                        return 1
+            """},
+        )
+        assert ("repro.a:Service.helper", CALL) in edges(graph, "repro.a:Service.run")
+
+    def test_module_level_call(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                def top():
+                    return leaf()
+                def leaf():
+                    return 1
+            """},
+        )
+        assert ("repro.a:leaf", CALL) in edges(graph, "repro.a:top")
+
+    def test_attribute_type_from_init(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                class Engine:
+                    def step(self):
+                        return 1
+                class Owner:
+                    def __init__(self):
+                        self._engine = Engine()
+                    def run(self):
+                        return self._engine.step()
+            """},
+        )
+        assert ("repro.a:Engine.step", CALL) in edges(graph, "repro.a:Owner.run")
+
+    def test_cross_module_call(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "a.py": """
+                    from repro.b import leaf
+                    def top():
+                        return leaf()
+                """,
+                "b.py": """
+                    def leaf():
+                        return 1
+                """,
+            },
+        )
+        assert ("repro.b:leaf", CALL) in edges(graph, "repro.a:top")
+
+    def test_unresolvable_call_yields_no_edge(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                def top(callback):
+                    return callback() + unknown_name()
+            """},
+        )
+        assert edges(graph, "repro.a:top") == set()
+
+
+class TestDispatch:
+    def test_closure_to_pool_submit(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                from concurrent.futures import ThreadPoolExecutor
+                def run():
+                    def work():
+                        return 1
+                    with ThreadPoolExecutor(max_workers=2) as pool:
+                        return pool.submit(work)
+            """},
+        )
+        assert ("repro.a:run.work", DISPATCH) in edges(graph, "repro.a:run")
+
+    def test_closure_to_pool_map(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                from concurrent.futures import ThreadPoolExecutor
+                def run(items):
+                    def work(item):
+                        return item
+                    with ThreadPoolExecutor() as pool:
+                        return list(pool.map(work, items))
+            """},
+        )
+        assert ("repro.a:run.work", DISPATCH) in edges(graph, "repro.a:run")
+
+    def test_run_in_executor_target(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                import asyncio
+                def blocking():
+                    return 1
+                async def run():
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(None, blocking)
+            """},
+        )
+        assert ("repro.a:blocking", DISPATCH) in edges(graph, "repro.a:run")
+
+    def test_dispatch_excluded_when_not_followed(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                from concurrent.futures import ThreadPoolExecutor
+                def work():
+                    return 1
+                def run():
+                    with ThreadPoolExecutor() as pool:
+                        return pool.submit(work)
+            """},
+        )
+        assert "repro.a:work" in graph.reachable(["repro.a:run"])
+        assert "repro.a:work" not in graph.reachable(
+            ["repro.a:run"], follow_dispatch=False
+        )
+
+
+class TestReachability:
+    def test_recursion_is_cycle_safe(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                def even(n):
+                    return n == 0 or odd(n - 1)
+                def odd(n):
+                    return n != 0 and even(n - 1)
+            """},
+        )
+        reached = graph.reachable(["repro.a:even"])
+        assert {"repro.a:even", "repro.a:odd"} <= reached
+
+    def test_witness_is_shortest_path(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                def a():
+                    return b()
+                def b():
+                    return c()
+                def c():
+                    return 1
+            """},
+        )
+        path = graph.witness("repro.a:a", "repro.a:c")
+        assert path is not None
+        assert [edge.callee for edge in path] == ["repro.a:b", "repro.a:c"]
+        assert graph.witness("repro.a:a", "repro.a:a") == []
+        assert graph.witness("repro.a:c", "repro.a:a") is None
+
+    def test_functions_named_matches_bare_name(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {"a.py": """
+                class X:
+                    def run_batch(self):
+                        return 1
+                def run_batch():
+                    return 2
+            """},
+        )
+        assert set(graph.functions_named("run_batch")) == {
+            "repro.a:X.run_batch",
+            "repro.a:run_batch",
+        }
+
+    def test_call_graph_is_memoized_per_index(self, tmp_path):
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "__init__.py").touch()
+        (package / "a.py").write_text("def f():\n    return 1\n", encoding="utf-8")
+        index = build_index([package])
+        assert call_graph(index) is call_graph(index)

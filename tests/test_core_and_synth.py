@@ -10,7 +10,7 @@ from repro.core.baselines import SYSTEM_PROFILES, ManualBaseline
 from repro.core.report import ClaimVerification, VerificationReport, seconds_to_weeks
 from repro.core.scrutinizer import Scrutinizer
 from repro.core.session import BatchRecord, VerificationSession
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.formulas.parser import parse_formula
 from repro.sqlengine.executor import QueryExecutor
 from repro.sqlengine.parser import parse_query
@@ -138,7 +138,7 @@ class TestVerificationReport:
     def test_weeks_conversion(self):
         assert seconds_to_weeks(144000.0, checkers=1) == pytest.approx(1.0)
         assert seconds_to_weeks(144000.0, checkers=2) == pytest.approx(0.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             seconds_to_weeks(1.0, checkers=0)
 
     def test_cumulative_series_monotone(self):

@@ -182,7 +182,7 @@ class TestSimulatedChecker:
         assert response.verdict is False
 
     def test_invalid_rates_rejected(self, oracle):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             SimulatedChecker("S1", oracle, error_rate=1.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             SimulatedChecker("S1", oracle, skip_rate=-0.1)

@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.dataset.types import coerce_value, is_missing, is_numeric, values_close
+from repro.errors import ConfigurationError
 
 
 class TestIsMissing:
@@ -85,7 +86,7 @@ class TestValuesClose:
         assert values_close(0.0, 0.0, 0.01)
 
     def test_negative_tolerance_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             values_close(1.0, 1.0, -0.1)
 
     def test_symmetry(self):
